@@ -1,0 +1,79 @@
+"""P3 (extension) — the code-generator backend vs the interpreter.
+
+The paper's architecture names a *code generator* distinct from the
+evaluator (Section 3: primitives are "known to the code generator so a
+more efficient query plan can be generated").  Our compiled backend
+translates core expressions into Python closures once; this benchmark
+quantifies what that buys on repeated evaluation of the paper's own
+workloads.
+"""
+
+import pytest
+
+from repro.core import ast
+from repro.core import builders as B
+from repro.core.compile import CompiledEvaluator
+from repro.core.eval import Evaluator
+from repro.objects.array import Array
+
+from conftest import median_time
+
+V = ast.Var
+
+N_ELEMS = 1000
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    from repro.optimizer.engine import default_optimizer
+
+    opt = default_optimizer()
+    arr = Array.from_list([(i * 37) % 250 for i in range(N_ELEMS)])
+    mat = Array((40, 40), [i % 97 for i in range(1600)])
+    return {
+        "hist-index": (opt.optimize(B.hist_fast(V("A"))), {"A": arr}),
+        "reverse-map": (
+            opt.optimize(B.map_array(
+                lambda x: ast.Arith("+", x, ast.NatLit(1)),
+                B.reverse(V("A")))),
+            {"A": arr},
+        ),
+        "transpose": (opt.optimize(B.transpose(V("M"))), {"M": mat}),
+        "sum-squares": (
+            ast.Sum("x", ast.Arith("*", V("x"), V("x")),
+                    ast.Gen(ast.NatLit(N_ELEMS))),
+            {},
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="P3-backend-interpreter")
+@pytest.mark.parametrize("name", ["hist-index", "reverse-map",
+                                  "transpose", "sum-squares"])
+def test_interpreter(benchmark, workloads, name):
+    expr, env = workloads[name]
+    runner = Evaluator()
+    benchmark(lambda: runner.run(expr, env))
+
+
+@pytest.mark.benchmark(group="P3-backend-compiled")
+@pytest.mark.parametrize("name", ["hist-index", "reverse-map",
+                                  "transpose", "sum-squares"])
+def test_compiled(benchmark, workloads, name):
+    expr, env = workloads[name]
+    runner = CompiledEvaluator()
+    runner.run(expr, env)  # compile once, outside the timed region
+    benchmark(lambda: runner.run(expr, env))
+
+
+@pytest.mark.benchmark(group="P3-backend-shape")
+def test_shape_compiled_wins_on_repeated_evaluation(benchmark, workloads):
+    expr, env = workloads["reverse-map"]
+    interp = Evaluator()
+    compiled = CompiledEvaluator()
+    compiled.run(expr, env)
+    assert compiled.run(expr, env) == interp.run(expr, env)
+    t_interp = median_time(lambda: interp.run(expr, env))
+    t_compiled = median_time(lambda: compiled.run(expr, env))
+    assert t_compiled < t_interp, (t_interp, t_compiled)
+    benchmark(lambda: compiled.run(expr, env))

@@ -1,0 +1,123 @@
+"""P2 — the full pipeline on the paper's own queries.
+
+Times parse→desugar→resolve→typecheck→optimize (compilation) and
+evaluation, optimized vs not, for the Section 1 heat-wave query and the
+Section 4.2 after-sunset query.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.external.heatindex import heatindex_prim
+from repro.external.solar import june_sunset_prim
+from repro.external.weather import (
+    NY_LAT,
+    NY_LON,
+    june_arrays,
+    lat_index,
+    lon_index,
+    write_year_netcdf,
+)
+from repro.surface.desugar import desugar_expression
+from repro.surface.parser import parse_expression
+from repro.system.session import Session
+from repro.types.types import TArray, TArrow, TNat, TProduct, TReal
+
+HEATWAVE_QUERY = r"""
+{d | \d <- gen!30,
+     \WS' == evenpos!(proj_col!(WS, 0)),
+     \TRW == zip_3!(T, RH, WS'),
+     \A == subseq!(TRW, d*24, d*24+23),
+     heatindex!(A) > threshold}
+"""
+
+SUNSET_QUERY = r"""
+{d | [(\h, _, _) : \t] <- T, \d == h/24 + 1,
+     h % 24 > june_sunset!(NYlat, NYlon, d), t > 85.0}
+"""
+
+
+def _heatwave_session(optimize=True):
+    session = Session(optimize=optimize)
+    session.register_co(
+        "heatindex", heatindex_prim,
+        TArrow(TArray(TProduct((TReal(), TReal(), TReal())), 1), TReal()),
+    )
+    temperature, humidity, wind = june_arrays()
+    session.env.set_val("T", temperature)
+    session.env.set_val("RH", humidity)
+    session.env.set_val("WS", wind)
+    session.env.set_val("threshold", 95.0)
+    return session
+
+
+@pytest.fixture(scope="module")
+def sunset_session():
+    handle, path = tempfile.mkstemp(suffix=".nc")
+    os.close(handle)
+    write_year_netcdf(path)
+    session = Session()
+    session.register_co(
+        "june_sunset", june_sunset_prim,
+        TArrow(TProduct((TReal(), TReal(), TNat())), TNat()),
+    )
+    session.env.set_val("NYlat", NY_LAT)
+    session.env.set_val("NYlon", NY_LON)
+    session.env.set_val("lat_idx", lat_index(NY_LAT))
+    session.env.set_val("lon_idx", lon_index(NY_LON))
+    session.run(r"""
+        val \months = [[0,31,28,31,30,31,30,31,31,30,31,30]];
+        macro \days_since_1_1 = fn (\m, \d, \y) =>
+            d + summap(fn \i => months[i])!(gen!m) +
+            (if m > 2 and y % 4 = 0 then 1 else 0) - 1;
+    """)
+    session.run(f"""
+        readval \\T using NETCDF3 at
+            ("{path}", "temp",
+             (days_since_1_1!(6,1,95)*24, lat_idx, lon_idx),
+             (days_since_1_1!(6,30,95)*24 + 23, lat_idx, lon_idx));
+    """)
+    yield session
+    os.remove(path)
+
+
+@pytest.mark.benchmark(group="P2-compile")
+def test_compile_heatwave_query(benchmark):
+    session = _heatwave_session()
+
+    def compile_only():
+        core = desugar_expression(parse_expression(HEATWAVE_QUERY))
+        return session.env.compile(core)
+
+    compiled, inferred = benchmark(compile_only)
+    assert str(inferred) == "{nat}"
+
+
+@pytest.mark.benchmark(group="P2-evaluate")
+@pytest.mark.parametrize("optimize", [True, False],
+                         ids=["optimized", "unoptimized"])
+def test_evaluate_heatwave_query(benchmark, optimize):
+    session = _heatwave_session(optimize)
+    result = benchmark(lambda: session.query_value(HEATWAVE_QUERY + ";"))
+    assert result == frozenset({24, 26, 27})
+
+
+@pytest.mark.benchmark(group="P2-evaluate")
+def test_evaluate_sunset_query(benchmark, sunset_session):
+    result = benchmark(
+        lambda: sunset_session.query_value(SUNSET_QUERY + ";")
+    )
+    assert result == frozenset({25, 27, 28})
+
+
+@pytest.mark.benchmark(group="P2-readval")
+def test_readval_month_subslab(benchmark, sunset_session, tmp_path):
+    # re-run only the readval against the already-open session's file
+    T = sunset_session.env.get_val("T")
+    assert T.dims == (720, 1, 1)
+    benchmark(lambda: sunset_session.query_value(
+        "summap(fn \\h => 1)!(gen!(let val (\\t, \\a, \\b) = dim_3!T "
+        "in t end));"
+    ))

@@ -1,0 +1,79 @@
+"""P1 — the NetCDF driver: decode and subslab throughput.
+
+The paper's I/O module reads "legacy" data through the NETCDF readers;
+the key operational property is that a subslab read touches only the
+bytes of the requested region (plus the header) rather than the whole
+variable.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.io.drivers import make_netcdf_reader
+from repro.io.netcdf import read_netcdf, read_variable, write_netcdf
+
+from conftest import median_time
+
+TIME, LAT, LON = 2000, 5, 5  # 50k doubles ≈ 400 KB of data
+
+
+@pytest.fixture(scope="module")
+def big_file():
+    handle, path = tempfile.mkstemp(suffix=".nc")
+    os.close(handle)
+    values = [float(i % 97) for i in range(TIME * LAT * LON)]
+    write_netcdf(
+        path,
+        dimensions={"time": None, "lat": LAT, "lon": LON},
+        variables={"temp": ("double", ("time", "lat", "lon"), values)},
+        attributes={"title": "bench"},
+    )
+    yield path
+    os.remove(path)
+
+
+@pytest.mark.benchmark(group="P1-netcdf")
+def test_header_decode(benchmark, big_file):
+    ds = benchmark(lambda: read_netcdf(big_file))
+    assert ds.numrecs == TIME
+
+
+@pytest.mark.benchmark(group="P1-netcdf")
+def test_whole_variable_read(benchmark, big_file):
+    arr = benchmark(lambda: read_variable(big_file, "temp"))
+    assert arr.dims == (TIME, LAT, LON)
+
+
+@pytest.mark.benchmark(group="P1-netcdf")
+def test_month_subslab_read(benchmark, big_file):
+    reader = make_netcdf_reader(3)
+    arr = benchmark(lambda: reader(
+        (big_file, "temp", (100, 2, 2), (819, 2, 2))
+    ))
+    assert arr.dims == (720, 1, 1)
+
+
+@pytest.mark.benchmark(group="P1-netcdf")
+def test_single_cell_read(benchmark, big_file):
+    reader = make_netcdf_reader(3)
+    arr = benchmark(lambda: reader(
+        (big_file, "temp", (1500, 3, 3), (1500, 3, 3))
+    ))
+    assert arr.size == 1
+
+
+@pytest.mark.benchmark(group="P1-netcdf-shape")
+def test_shape_subslab_cheaper_than_full_scan(benchmark, big_file):
+    reader = make_netcdf_reader(3)
+    t_full = median_time(lambda: read_variable(big_file, "temp"), repeats=3)
+    t_slab = median_time(
+        lambda: reader((big_file, "temp", (0, 2, 2), (719, 2, 2))),
+        repeats=3,
+    )
+    assert t_slab < t_full, (
+        f"a 720-cell subslab must beat the {TIME * LAT * LON}-cell scan: "
+        f"{t_slab:.4f}s vs {t_full:.4f}s"
+    )
+    benchmark(lambda: reader((big_file, "temp", (0, 2, 2), (719, 2, 2))))

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one experiment from DESIGN.md §5
+(EXPERIMENTS.md records the paper-claim vs. measured outcome).  Shape
+claims ("who wins, by roughly what factor") are asserted with generous
+margins via :func:`median_time`, so the suite is robust to machine noise
+while still failing if an asymptotic claim breaks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import pytest
+
+from repro.core.eval import Evaluator
+from repro.env.environment import TopEnv
+
+
+def median_time(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.fixture(scope="session")
+def std_env() -> TopEnv:
+    return TopEnv.standard()
+
+
+@pytest.fixture(scope="session")
+def evaluator(std_env) -> Evaluator:
+    return std_env.evaluator()

@@ -1,0 +1,95 @@
+"""Climatology over legacy NetCDF data: monthly statistics in AQL.
+
+Run:  python examples/climatology.py
+
+A realistic scientific-data workflow on top of the NetCDF driver:
+
+1. write a year of hourly gridded temperatures to a classic ``.nc`` file;
+2. ``readval`` the whole variable;
+3. compute per-month mean/min/max and a temperature histogram with AQL
+   queries (``index`` doing the group-by, Section 2's motivation);
+4. ``writeval`` the monthly summary back out through the CO driver.
+"""
+
+import os
+import tempfile
+
+from repro import Session
+from repro.external.weather import write_year_netcdf
+from repro.objects.exchange import pretty
+
+MONTH_LENGTHS = "[[31,28,31,30,31,30,31,31,30,31,30,31]]"
+
+
+def main() -> None:
+    handle, nc_path = tempfile.mkstemp(suffix=".nc")
+    os.close(handle)
+    co_path = nc_path.replace(".nc", ".co")
+    try:
+        write_year_netcdf(nc_path, lat_points=1, lon_points=1)
+        session = Session()
+        session.run(f'readval \\T3 using NETCDF at ("{nc_path}", "temp");')
+        print("loaded:", session.env.get_val("T3").dims,
+              "(time, lat, lon) hourly temperatures")
+
+        # flatten the 3-d variable to the time series at the only cell
+        session.run(r"val \T = [[ T3[h, 0, 0] | \h < dim_3!T3 ]];"
+                    .replace("dim_3!T3",
+                             "let val (\\t, \\la, \\lo) = dim_3!T3 "
+                             "in t end"))
+
+        session.run(f"val \\mlen = {MONTH_LENGTHS};")
+        # cumulative start hour of each month, via Σ over gen
+        session.run(r"""
+            macro \month_start = fn \m =>
+                summap(fn \i => mlen[i])!(gen!m) * 24;
+        """)
+        session.run(r"""
+            macro \month_slice = fn \m =>
+                subseq!(T, month_start!m, month_start!(m+1) - 1);
+        """)
+        session.run(r"""
+            macro \mean = fn \A =>
+                summap(fn \i => A[i])!(dom!A) / real!(len!A);
+        """)
+
+        print("\nper-month statistics (deg F):")
+        summary = session.query_value(r"""
+            {(m, mean!(month_slice!m),
+                 min!(rng!(month_slice!m)),
+                 max!(rng!(month_slice!m)))
+             | \m <- gen!12};
+        """)
+        names = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+        for month, mean, low, high in sorted(summary):
+            print(f"  {names[month]}: mean {mean:5.1f}  "
+                  f"min {low:5.1f}  max {high:5.1f}")
+
+        # histogram of whole-degree temperatures via the index construct
+        print("\ntemperature histogram (5-degree bins, via index):")
+        bins = session.query_value(r"""
+            maparr!(count,
+                index!({(floor!(T[h]) / 5, h) | \h <- dom!T}));
+        """)
+        for bin_index, count in enumerate(bins.flat):
+            if count:
+                bar = "#" * max(1, count // 80)
+                print(f"  {bin_index * 5:3d}-{bin_index * 5 + 4:3d}F "
+                      f"{count:5d} {bar}")
+
+        session.run(f'writeval {{(m, mean!(month_slice!m)) | \\m <- gen!12}}'
+                    f' using CO at "{co_path}";')
+        with open(co_path, "r", encoding="utf-8") as out:
+            text = out.read()
+        print(f"\nmonthly means exported via the CO driver "
+              f"({len(text)} bytes):")
+        print(" ", text[:100], "...")
+    finally:
+        os.remove(nc_path)
+        if os.path.exists(co_path):
+            os.remove(co_path)
+
+
+if __name__ == "__main__":
+    main()

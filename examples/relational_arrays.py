@@ -1,0 +1,96 @@
+"""Relational data meets arrays: the SQL driver, sort, and coordinates.
+
+Run:  python examples/relational_arrays.py
+
+The paper's closing vision is one system where "legacy" relational and
+array data flow through the same query language.  This example drives
+the extensions that complete that picture:
+
+1. a weather-station *catalog* lives in CSV tables, queried through the
+   fragment-of-SQL driver (§4.1's planned Sybase-style reader);
+2. station readings live in a NetCDF file with a latitude coordinate
+   variable (§7's "longitudes and latitudes as indices", implemented);
+3. AQL joins the two worlds: pick stations by SQL, locate their grid
+   rows by physical coordinate, and rank results with ``sort``.
+"""
+
+import os
+import tempfile
+
+from repro import Session
+from repro.external.coords import register_coordinate_primitives
+from repro.io.netcdf import write_netcdf
+from repro.io.sqlreader import make_sql_reader
+
+STATIONS_CSV = """\
+station,lat,state
+albany,42.65,NY
+boston,42.36,MA
+nyc,40.78,NY
+philly,39.95,PA
+dc,38.9,DC
+"""
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp()
+    stations_path = os.path.join(workdir, "stations.csv")
+    grid_path = os.path.join(workdir, "grid.nc")
+    try:
+        with open(stations_path, "w", encoding="utf-8") as handle:
+            handle.write(STATIONS_CSV)
+
+        # a coarse latitude grid with a coordinate variable, as NetCDF
+        # convention prescribes
+        latitudes = [38.0, 40.0, 42.0, 44.0]
+        july_temps = [88.0, 86.0, 82.0, 79.0]
+        write_netcdf(grid_path, {"lat": 4}, {
+            "lat": ("double", ("lat",), latitudes,
+                    {"units": "degrees_north"}),
+            "tmax": ("double", ("lat",), july_temps,
+                     {"units": "degF", "long_name": "mean July maximum"}),
+        })
+
+        session = Session()
+        register_coordinate_primitives(session.env)
+        session.env.drivers.register_reader(
+            "SQL", make_sql_reader({"stations": stations_path})
+        )
+
+        print("1. relational side — stations in New York state, via SQL:")
+        session.run_script(
+            'readval \\ny using SQL at '
+            '"select station, lat from stations where state = \'NY\'";',
+            echo=True,
+        )
+
+        print("\n2. array side — the gridded climatology:")
+        session.run_script(f"""
+            readval \\LAT using NETCDF at ("{grid_path}", "lat");
+            readval \\TMAX using NETCDF at ("{grid_path}", "tmax");
+        """, echo=True)
+
+        print("\n3. the join: each NY station's nearest grid row")
+        result = session.query_value(r"""
+            {(name, TMAX[coord_nearest!(LAT, lat)])
+             | (\name, \lat) <- ny};
+        """)
+        for name, temp in sorted(result):
+            print(f"   {name:8s} -> mean July max {temp:.1f} F")
+
+        print("\n4. ranking with sort (arrays = ranked collections, §6):")
+        session.env.set_val("joined", result)
+        ranked = session.query_value(
+            "sort!{(t, n) | (\\n, \\t) <- joined};"
+        )
+        for position, (temp, name) in enumerate(ranked.flat, start=1):
+            print(f"   #{position}: {name} ({temp:.1f} F)")
+    finally:
+        for path in (stations_path, grid_path):
+            if os.path.exists(path):
+                os.remove(path)
+        os.rmdir(workdir)
+
+
+if __name__ == "__main__":
+    main()

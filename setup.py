@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline environment ships setuptools 65 without ``wheel``, so PEP 660
+editable installs fail; this file enables the legacy ``pip install -e .``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

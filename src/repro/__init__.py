@@ -1,0 +1,74 @@
+r"""repro — AQL, a query language for multidimensional arrays.
+
+A comprehensive reproduction of Libkin, Machlin & Wong, *A Query Language
+for Multidimensional Arrays: Design, Implementation, and Optimization
+Techniques* (SIGMOD 1996).
+
+Quickstart::
+
+    from repro import Session, aql_array
+
+    session = Session()
+    session.env.set_val("A", aql_array([3, 1, 4, 1, 5]))
+    session.query_value(r"{i | [\i : \x] <- A, x > 3};")
+    # frozenset({2, 4})
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.objects` — the complex object library (arrays, bags,
+  canonical order, exchange format);
+* :mod:`repro.core` — the NRCA calculus (Figure 1): AST, typechecker,
+  evaluator, derived operators;
+* :mod:`repro.surface` — the AQL surface syntax and the Figure 2
+  desugaring;
+* :mod:`repro.optimizer` — the Section 5 rewrite system (β^p, η^p, δ^p,
+  NRC rules, bounds-check elimination);
+* :mod:`repro.io` — NetCDF classic codec and the driver registry;
+* :mod:`repro.env` / :mod:`repro.system` — the open top-level
+  environment, session, and REPL;
+* :mod:`repro.expressiveness` — the Section 6 theorems, constructively.
+"""
+
+from repro.objects.array import Array
+from repro.objects.bag import Bag
+from repro.env.environment import TopEnv
+from repro.system.session import Output, Session
+from repro.surface.parser import parse_expression, parse_program
+from repro.surface.desugar import desugar_expression
+from repro.optimizer.engine import default_optimizer
+
+__version__ = "1.0.0"
+
+
+def aql_array(values, dims=None) -> Array:
+    """Convenience: build an :class:`Array` from a flat Python sequence."""
+    if dims is None:
+        return Array.from_list(list(values))
+    return Array(dims, list(values))
+
+
+def compile_query(source: str, env: TopEnv | None = None):
+    """Parse, desugar, resolve, typecheck and optimize an AQL expression.
+
+    Returns ``(core_expr, type)``.
+    """
+    env = env if env is not None else TopEnv.standard()
+    core = desugar_expression(parse_expression(source))
+    return env.compile(core)
+
+
+def run_query(source: str, env: TopEnv | None = None, **bindings):
+    """One-shot: evaluate an AQL expression with optional value bindings."""
+    env = env if env is not None else TopEnv.standard()
+    for name, value in bindings.items():
+        env.set_val(name, value)
+    core = desugar_expression(parse_expression(source))
+    return env.evaluate(core)
+
+
+__all__ = [
+    "Array", "Bag", "TopEnv", "Session", "Output",
+    "parse_expression", "parse_program", "desugar_expression",
+    "default_optimizer", "aql_array", "compile_query", "run_query",
+    "__version__",
+]

@@ -1,0 +1,427 @@
+"""Derived operators of Sections 2–3, built from the minimal construct set.
+
+The paper argues only three array constructs are needed (tabulate,
+subscript, dim); everything else — ``map``, ``zip``, ``subseq``,
+``reverse``, ``evenpos``, ``transpose``, ``proj_col``, matrix
+``multiply``, ``dom``, ``rng``, ``graph``, histograms — is *derived*.
+This module writes those derivations exactly as the paper does, as
+functions from core expressions to core expressions.
+
+Every binder introduced here is freshened with
+:func:`~repro.core.ast.fresh_var`, so builders can safely be applied to
+open expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.ast import (
+    App,
+    Arith,
+    Bottom,
+    Cmp,
+    Dim,
+    EmptySet,
+    Expr,
+    Ext,
+    Gen,
+    Get,
+    If,
+    IndexSet,
+    Lam,
+    NatLit,
+    Proj,
+    Singleton,
+    Subscript,
+    Sum,
+    Tabulate,
+    TupleE,
+    Var,
+    fresh_var,
+)
+
+# ---------------------------------------------------------------------------
+# small conveniences
+# ---------------------------------------------------------------------------
+
+def let_in(var: str, value: Expr, body: Expr) -> Expr:
+    """``let val var = value in body end`` ≡ ``(λ var. body)(value)``."""
+    return App(Lam(var, body), value)
+
+
+def nat_min(a: Expr, b: Expr) -> Expr:
+    """``min`` of two naturals as a conditional."""
+    return If(Cmp("<=", a, b), a, b)
+
+
+def array_len(a: Expr) -> Expr:
+    """``len`` = ``dim_1`` (the paper's abbreviation)."""
+    return Dim(a, 1)
+
+
+def dim_of(a: Expr, axis: int, rank: int) -> Expr:
+    """``dim_{axis,rank}`` = ``π_{axis,rank} ∘ dim_rank`` (1-based axis)."""
+    if rank == 1:
+        if axis != 1:
+            raise ValueError("1-d arrays have a single dimension")
+        return Dim(a, 1)
+    return Proj(axis, rank, Dim(a, rank))
+
+
+# ---------------------------------------------------------------------------
+# the NRC examples of Section 2
+# ---------------------------------------------------------------------------
+
+def filter_set(predicate: Callable[[Expr], Expr], source: Expr) -> Expr:
+    """``filter P X = ⋃{ if P(x) then {x} else {} | x ∈ X }``."""
+    x = fresh_var("x")
+    return Ext(x, If(predicate(Var(x)), Singleton(Var(x)), EmptySet()), source)
+
+
+def project_set(index: int, arity: int, source: Expr) -> Expr:
+    """``Π_{i,k} X = ⋃{ {π_{i,k}(x)} | x ∈ X }``."""
+    x = fresh_var("x")
+    return Ext(x, Singleton(Proj(index, arity, Var(x))), source)
+
+
+def cartesian(left: Expr, right: Expr) -> Expr:
+    """``X × Y = ⋃{ ⋃{ {(x,y)} | x ∈ X } | y ∈ Y }``."""
+    x = fresh_var("x")
+    y = fresh_var("y")
+    return Ext(y, Ext(x, Singleton(TupleE((Var(x), Var(y)))), left), right)
+
+
+def nest(source: Expr) -> Expr:
+    """``nest : {s×t} -> {s×{t}}`` — group second components by first.
+
+    The Section 2 definition:
+    ``⋃{ {(π1 x, Π2(filter(λy.π1 y = π1 x)(X)))} | x ∈ X }``.
+    """
+    x = fresh_var("x")
+    grouped = project_set(
+        2, 2,
+        filter_set(
+            lambda y: Cmp("=", Proj(1, 2, y), Proj(1, 2, Var(x))), source
+        ),
+    )
+    return Ext(x, Singleton(TupleE((Proj(1, 2, Var(x)), grouped))), source)
+
+
+def set_member(item: Expr, source: Expr) -> Expr:
+    """``item ∈ source`` as an NRC expression (via Σ of indicators)."""
+    x = fresh_var("x")
+    return Cmp(
+        ">", Sum(x, If(Cmp("=", Var(x), item), NatLit(1), NatLit(0)), source),
+        NatLit(0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# aggregates via Σ (Section 2)
+# ---------------------------------------------------------------------------
+
+def count(source: Expr) -> Expr:
+    """``count(X) = Σ{ 1 | x ∈ X }``."""
+    x = fresh_var("x")
+    return Sum(x, NatLit(1), source)
+
+
+def forall(var_fn: Callable[[Expr], Expr], source: Expr) -> Expr:
+    """``∀x ∈ X (P) ≡ Σ{ if P then 0 else 1 | x ∈ X } = 0``."""
+    x = fresh_var("x")
+    return Cmp(
+        "=",
+        Sum(x, If(var_fn(Var(x)), NatLit(0), NatLit(1)), source),
+        NatLit(0),
+    )
+
+
+def min_set(source: Expr) -> Expr:
+    """``min(X) = get(filter(λy. ∀x∈X (y ≤ x))(X))``."""
+    y_pred = lambda y: forall(lambda x: Cmp("<=", y, x), source)  # noqa: E731
+    return Get(filter_set(y_pred, source))
+
+
+def max_set(source: Expr) -> Expr:
+    """``max(X)``, dually."""
+    y_pred = lambda y: forall(lambda x: Cmp(">=", y, x), source)  # noqa: E731
+    return Get(filter_set(y_pred, source))
+
+
+# ---------------------------------------------------------------------------
+# the 1-d array examples of Section 2
+# ---------------------------------------------------------------------------
+
+def map_array(fn: Callable[[Expr], Expr], array: Expr) -> Expr:
+    """``map f A = [[ f(A[i]) | i < len(A) ]]``."""
+    i = fresh_var("i")
+    return Tabulate((i,), (array_len(array),),
+                    fn(Subscript(array, (Var(i),))))
+
+
+def zip2(a: Expr, b: Expr) -> Expr:
+    """``zip(A,B) = [[ (A[i],B[i]) | i < min(len A, len B) ]]``."""
+    i = fresh_var("i")
+    return Tabulate(
+        (i,), (nat_min(array_len(a), array_len(b)),),
+        TupleE((Subscript(a, (Var(i),)), Subscript(b, (Var(i),)))),
+    )
+
+
+def zip3(a: Expr, b: Expr, c: Expr) -> Expr:
+    """Three-way zip (the ``zip_3`` of the Section 1 motivating query)."""
+    i = fresh_var("i")
+    bound = nat_min(array_len(a), nat_min(array_len(b), array_len(c)))
+    return Tabulate(
+        (i,), (bound,),
+        TupleE((
+            Subscript(a, (Var(i),)),
+            Subscript(b, (Var(i),)),
+            Subscript(c, (Var(i),)),
+        )),
+    )
+
+
+def subseq(array: Expr, start: Expr, stop: Expr) -> Expr:
+    """``subseq(A,i,j) = [[ A[i+k] | k < (j+1) ∸ i ]]`` (inclusive bounds)."""
+    k = fresh_var("k")
+    length = Arith("-", Arith("+", stop, NatLit(1)), start)
+    return Tabulate((k,), (length,),
+                    Subscript(array, (Arith("+", start, Var(k)),)))
+
+
+def reverse(array: Expr) -> Expr:
+    """``reverse A = [[ A[len(A) ∸ i ∸ 1] | i < len(A) ]]``."""
+    i = fresh_var("i")
+    index = Arith("-", Arith("-", array_len(array), Var(i)), NatLit(1))
+    return Tabulate((i,), (array_len(array),), Subscript(array, (index,)))
+
+
+def evenpos(array: Expr) -> Expr:
+    """``evenpos A = [[ A[i*2] | i < len(A)/2 ]]`` — keep even positions.
+
+    This is the grid-coarsening step of the Section 1 query (half-hourly →
+    hourly readings).
+    """
+    i = fresh_var("i")
+    return Tabulate(
+        (i,), (Arith("/", array_len(array), NatLit(2)),),
+        Subscript(array, (Arith("*", Var(i), NatLit(2)),)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the matrix examples of Section 2
+# ---------------------------------------------------------------------------
+
+def transpose(matrix: Expr) -> Expr:
+    """``transpose M = [[ M[i,j] | j < dim_{2,2}M, i < dim_{1,2}M ]]``."""
+    i = fresh_var("i")
+    j = fresh_var("j")
+    return Tabulate(
+        (j, i),
+        (dim_of(matrix, 2, 2), dim_of(matrix, 1, 2)),
+        Subscript(matrix, (Var(i), Var(j))),
+    )
+
+
+def proj_col(matrix: Expr, column: Expr) -> Expr:
+    """``proj_col(M,j) = [[ M[i,j] | i < dim_{1,2}M ]]``."""
+    i = fresh_var("i")
+    return Tabulate((i,), (dim_of(matrix, 1, 2),),
+                    Subscript(matrix, (Var(i), column)))
+
+
+def proj_row(matrix: Expr, row: Expr) -> Expr:
+    """The row dual of :func:`proj_col`."""
+    j = fresh_var("j")
+    return Tabulate((j,), (dim_of(matrix, 2, 2),),
+                    Subscript(matrix, (row, Var(j))))
+
+
+def multiply(m: Expr, n: Expr) -> Expr:
+    """Matrix product with the paper's conformance check (⊥ on mismatch)."""
+    i = fresh_var("i")
+    j = fresh_var("j")
+    k = fresh_var("k")
+    inner = Sum(
+        k,
+        Arith(
+            "*",
+            Subscript(m, (Var(i), Var(k))),
+            Subscript(n, (Var(k), Var(j))),
+        ),
+        Gen(dim_of(m, 2, 2)),
+    )
+    product = Tabulate(
+        (i, j), (dim_of(m, 1, 2), dim_of(n, 2, 2)), inner
+    )
+    return If(Cmp("<>", dim_of(m, 2, 2), dim_of(n, 1, 2)), Bottom(), product)
+
+
+# ---------------------------------------------------------------------------
+# domains, ranges, graphs (Section 2)
+# ---------------------------------------------------------------------------
+
+def dom(array: Expr, rank: int = 1) -> Expr:
+    """``dom(e)``: the index set of an array.
+
+    ``gen(len e)`` for rank 1; the k-fold product of ``gen``s otherwise.
+    """
+    if rank == 1:
+        return Gen(array_len(array))
+    result = Gen(dim_of(array, 1, rank))
+    for axis in range(2, rank + 1):
+        result = cartesian_flatten(result, Gen(dim_of(array, axis, rank)), axis)
+    return result
+
+
+def cartesian_flatten(left: Expr, right: Expr, arity: int) -> Expr:
+    """Product of an (arity-1)-tuple set with a scalar set, flattening.
+
+    Builds ``{(x_1,...,x_{arity-1}, y)}`` rather than nested pairs, so that
+    k-dimensional index tuples match the subscript convention.
+    """
+    x = fresh_var("x")
+    y = fresh_var("y")
+    if arity == 2:
+        tuple_expr: Expr = TupleE((Var(x), Var(y)))
+    else:
+        components = tuple(
+            Proj(position, arity - 1, Var(x)) for position in range(1, arity)
+        ) + (Var(y),)
+        tuple_expr = TupleE(components)
+    return Ext(y, Ext(x, Singleton(tuple_expr), left), right)
+
+
+def rng(array: Expr, rank: int = 1) -> Expr:
+    """``rng(e) = ⋃{ {e[i]} | i ∈ dom(e) }``."""
+    i = fresh_var("i")
+    if rank == 1:
+        body = Singleton(Subscript(array, (Var(i),)))
+    else:
+        body = Singleton(
+            Subscript(
+                array,
+                tuple(Proj(p, rank, Var(i)) for p in range(1, rank + 1)),
+            )
+        )
+    return Ext(i, body, dom(array, rank))
+
+
+def graph(array: Expr, rank: int = 1) -> Expr:
+    """``graph_k(e) = ⋃{ {(i, e[i])} | i ∈ dom_k(e) }``."""
+    i = fresh_var("i")
+    if rank == 1:
+        pair = TupleE((Var(i), Subscript(array, (Var(i),))))
+    else:
+        pair = TupleE((
+            Var(i),
+            Subscript(
+                array,
+                tuple(Proj(p, rank, Var(i)) for p in range(1, rank + 1)),
+            ),
+        ))
+    return Ext(i, Singleton(pair), dom(array, rank))
+
+
+# ---------------------------------------------------------------------------
+# the histogram pair of Section 2 (motivates the index construct)
+# ---------------------------------------------------------------------------
+
+def hist(array: Expr) -> Expr:
+    """The naive histogram — O(n·m).
+
+    ``hist e = [[ Σ{ if e[j]=i then 1 else 0 | j ∈ dom e } | i < max(rng e)+1 ]]``
+
+    (The paper writes the bound as ``max(rng(e))``; we add 1 so the bin for
+    the maximum value exists, which is what makes ``hist`` and ``hist'``
+    agree — see EXPERIMENTS.md.)
+    """
+    i = fresh_var("i")
+    j = fresh_var("j")
+    bin_count = Arith("+", max_set(rng(array)), NatLit(1))
+    body = Sum(
+        j,
+        If(Cmp("=", Subscript(array, (Var(j),)), Var(i)),
+           NatLit(1), NatLit(0)),
+        dom(array),
+    )
+    return Tabulate((i,), (bin_count,), body)
+
+
+def hist_fast(array: Expr) -> Expr:
+    """The ``index``-based histogram — O(m + n log n).
+
+    ``hist' e = map(count)(index(⋃{ {(e[j], j)} | j ∈ dom e }))``.
+
+    The indexed array is let-bound so it is computed once; ``map`` uses
+    it in both its bound and its body, and inlining it there (as a naive
+    β would) re-runs the group-by per bin and forfeits the complexity
+    bound the paper claims — which is why the optimizer's β rule carries
+    a duplication guard.
+    """
+    j = fresh_var("j")
+    g = fresh_var("g")
+    pairs = Ext(
+        j,
+        Singleton(TupleE((Subscript(array, (Var(j),)), Var(j)))),
+        dom(array),
+    )
+    indexed = IndexSet(pairs, 1)
+    return let_in(g, indexed, map_array(count, Var(g)))
+
+
+# ---------------------------------------------------------------------------
+# array monoid (Section 3: literals via empty/singleton/append)
+# ---------------------------------------------------------------------------
+
+def array_empty() -> Expr:
+    """``[[]] = [[ ⊥ | i < 0 ]]`` — the empty 1-d array."""
+    i = fresh_var("i")
+    return Tabulate((i,), (NatLit(0),), Bottom())
+
+
+def array_singleton(item: Expr) -> Expr:
+    """``[[e]] = [[ e | i < 1 ]]``."""
+    i = fresh_var("i")
+    return Tabulate((i,), (NatLit(1),), item)
+
+
+def array_append(a: Expr, b: Expr) -> Expr:
+    """``A @ B``: concatenation by tabulation over ``len A + len B``."""
+    i = fresh_var("i")
+    split = If(
+        Cmp("<", Var(i), array_len(a)),
+        Subscript(a, (Var(i),)),
+        Subscript(b, (Arith("-", Var(i), array_len(a)),)),
+    )
+    return Tabulate(
+        (i,), (Arith("+", array_len(a), array_len(b)),), split
+    )
+
+
+def array_literal(items: Sequence[Expr]) -> Expr:
+    """``[[e1, ..., en]]`` via the monoid — the O(n²) form of Section 3.
+
+    (The efficient alternative is the :class:`~repro.core.ast.MkArray`
+    construct; this builder exists to reproduce the paper's observation
+    that the monoid encoding tabulates a giant nested conditional.)
+    """
+    result = array_empty()
+    for item in items:
+        result = array_append(result, array_singleton(item))
+    return result
+
+
+__all__ = [
+    "let_in", "nat_min", "array_len", "dim_of",
+    "filter_set", "project_set", "cartesian", "nest", "set_member",
+    "count", "forall", "min_set", "max_set",
+    "map_array", "zip2", "zip3", "subseq", "reverse", "evenpos",
+    "transpose", "proj_col", "proj_row", "multiply",
+    "dom", "rng", "graph", "cartesian_flatten",
+    "hist", "hist_fast",
+    "array_empty", "array_singleton", "array_append", "array_literal",
+]

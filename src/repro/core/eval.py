@@ -1,0 +1,430 @@
+"""The NRCA evaluator: closed expressions → complex-object values.
+
+Semantics follow Section 2 exactly:
+
+* sets are genuine sets (``⋃`` deduplicates; ``Σ`` sums over *distinct*
+  elements);
+* ``gen(n) = {0, ..., n-1}``;
+* tabulation *materializes*: the defining function is applied at every
+  index of the rectangular domain (the optimizer, not the evaluator, is
+  what avoids materialization — see Section 5);
+* subscripting out of bounds, ``get`` of a non-singleton, the ``Bottom``
+  construct, division by zero, and a ``MkArray`` whose value count does
+  not match its dimensions are all *undefined*: they raise
+  :class:`~repro.errors.BottomError`, which propagates strictly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core import ast
+from repro.errors import BottomError, EvalError
+from repro.objects.array import Array, iter_indices
+from repro.objects.bag import Bag
+from repro.objects.ordering import compare_values, rank_elements, sort_values
+from repro.objects.values import value_equal
+
+#: native primitives receive ``(argument_value, evaluator)`` so that
+#: higher-order primitives (e.g. ``summap``) can apply AQL functions
+NativePrim = Callable[[Any, "Evaluator"], Any]
+
+
+class Env:
+    """A persistent (linked) evaluation environment."""
+
+    __slots__ = ("name", "value", "parent")
+
+    def __init__(self, name: str, value: Any, parent: Optional["Env"]):
+        self.name = name
+        self.value = value
+        self.parent = parent
+
+    @staticmethod
+    def empty() -> Optional["Env"]:
+        return None
+
+    @staticmethod
+    def extend(env: Optional["Env"], name: str, value: Any) -> "Env":
+        return Env(name, value, env)
+
+    @staticmethod
+    def lookup(env: Optional["Env"], name: str) -> Any:
+        node = env
+        while node is not None:
+            if node.name == name:
+                return node.value
+            node = node.parent
+        raise EvalError(f"unbound variable {name!r} at evaluation time")
+
+
+class Closure:
+    """The value of a lambda abstraction."""
+
+    __slots__ = ("param", "body", "env")
+
+    def __init__(self, param: str, body: ast.Expr, env: Optional[Env]):
+        self.param = param
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:
+        return f"<closure \\{self.param}>"
+
+
+class Evaluator:
+    """Interprets NRCA expressions against a primitive registry."""
+
+    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None):
+        self.prims: Dict[str, NativePrim] = dict(prims or {})
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, expr: ast.Expr,
+            bindings: Optional[Mapping[str, Any]] = None) -> Any:
+        """Evaluate ``expr`` with optional top-level value bindings."""
+        env: Optional[Env] = None
+        for name, value in (bindings or {}).items():
+            env = Env.extend(env, name, value)
+        return self._eval(expr, env)
+
+    def apply_function(self, fn_value: Any, argument: Any) -> Any:
+        """Apply an AQL function value (closure or native) to an argument."""
+        if isinstance(fn_value, Closure):
+            return self._eval(
+                fn_value.body, Env.extend(fn_value.env, fn_value.param, argument)
+            )
+        if callable(fn_value):
+            return fn_value(argument, self)
+        raise EvalError(f"not a function: {fn_value!r}")
+
+    # -- the interpreter -----------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: Optional[Env]) -> Any:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise EvalError(f"no evaluation rule for {type(expr).__name__}")
+        return method(self, expr, env)
+
+    def _var(self, expr: ast.Var, env):
+        return Env.lookup(env, expr.name)
+
+    def _lam(self, expr: ast.Lam, env):
+        return Closure(expr.param, expr.body, env)
+
+    def _app(self, expr: ast.App, env):
+        fn_value = self._eval(expr.fn, env)
+        argument = self._eval(expr.arg, env)
+        return self.apply_function(fn_value, argument)
+
+    def _tuple(self, expr: ast.TupleE, env):
+        return tuple(self._eval(item, env) for item in expr.items)
+
+    def _proj(self, expr: ast.Proj, env):
+        value = self._eval(expr.expr, env)
+        if not isinstance(value, tuple) or len(value) != expr.arity:
+            raise EvalError(
+                f"π_{expr.index},{expr.arity} applied to {value!r}"
+            )
+        return value[expr.index - 1]
+
+    def _empty_set(self, expr: ast.EmptySet, env):
+        return frozenset()
+
+    def _singleton(self, expr: ast.Singleton, env):
+        return frozenset((self._eval(expr.expr, env),))
+
+    def _union(self, expr: ast.Union, env):
+        return self._eval(expr.left, env) | self._eval(expr.right, env)
+
+    def _ext(self, expr: ast.Ext, env):
+        source = self._eval(expr.source, env)
+        out: set = set()
+        for element in source:
+            out |= self._eval(expr.body, Env.extend(env, expr.var, element))
+        return frozenset(out)
+
+    def _bool(self, expr: ast.BoolLit, env):
+        return expr.value
+
+    def _if(self, expr: ast.If, env):
+        if self._eval(expr.cond, env):
+            return self._eval(expr.then, env)
+        return self._eval(expr.orelse, env)
+
+    def _cmp(self, expr: ast.Cmp, env):
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if expr.op == "=":
+            return value_equal(left, right)
+        if expr.op == "<>":
+            return not value_equal(left, right)
+        outcome = compare_values(left, right)
+        if expr.op == "<":
+            return outcome < 0
+        if expr.op == "<=":
+            return outcome <= 0
+        if expr.op == ">":
+            return outcome > 0
+        return outcome >= 0
+
+    def _nat(self, expr: ast.NatLit, env):
+        return expr.value
+
+    def _real(self, expr: ast.RealLit, env):
+        return expr.value
+
+    def _str(self, expr: ast.StrLit, env):
+        return expr.value
+
+    def _arith(self, expr: ast.Arith, env):
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        return apply_arith(expr.op, left, right)
+
+    def _gen(self, expr: ast.Gen, env):
+        bound = self._eval(expr.expr, env)
+        if not isinstance(bound, int) or isinstance(bound, bool) or bound < 0:
+            raise BottomError(f"gen of non-natural {bound!r}")
+        return frozenset(range(bound))
+
+    def _sum(self, expr: ast.Sum, env):
+        source = self._eval(expr.source, env)
+        total: Any = 0
+        for element in source:
+            total = total + self._eval(
+                expr.body, Env.extend(env, expr.var, element)
+            )
+        return total
+
+    def _tabulate(self, expr: ast.Tabulate, env):
+        bounds = []
+        for bound in expr.bounds:
+            value = self._eval(bound, env)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise BottomError(f"tabulation bound {value!r} is not natural")
+            bounds.append(value)
+        values = []
+        for index in iter_indices(bounds):
+            inner = env
+            for var, position in zip(expr.vars, index):
+                inner = Env.extend(inner, var, position)
+            values.append(self._eval(expr.body, inner))
+        return Array(bounds, values)
+
+    def _subscript(self, expr: ast.Subscript, env):
+        array = self._eval(expr.array, env)
+        if not isinstance(array, Array):
+            raise EvalError(f"subscript into non-array {array!r}")
+        index = tuple(self._eval(i, env) for i in expr.indices)
+        return array[index]  # Array raises BottomError when out of bounds
+
+    def _dim(self, expr: ast.Dim, env):
+        array = self._eval(expr.expr, env)
+        if not isinstance(array, Array) or array.rank != expr.rank:
+            raise BottomError(
+                f"dim_{expr.rank} of {array!r}"
+            )
+        if expr.rank == 1:
+            return array.dims[0]
+        return array.dims
+
+    def _index(self, expr: ast.IndexSet, env):
+        source = self._eval(expr.expr, env)
+        return index_set(source, expr.rank)
+
+    def _get(self, expr: ast.Get, env):
+        source = self._eval(expr.expr, env)
+        if not isinstance(source, frozenset) or len(source) != 1:
+            raise BottomError(f"get of non-singleton ({len(source)} elements)")
+        (element,) = source
+        return element
+
+    def _bottom(self, expr: ast.Bottom, env):
+        raise BottomError("explicit bottom")
+
+    def _mk_array(self, expr: ast.MkArray, env):
+        dims = []
+        for dim in expr.dims:
+            value = self._eval(dim, env)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise BottomError(f"array dimension {value!r} is not natural")
+            dims.append(value)
+        expected = 1
+        for d in dims:
+            expected *= d
+        if expected != len(expr.items):
+            raise BottomError(
+                f"array literal has {len(expr.items)} values for dims {dims}"
+            )
+        return Array(dims, (self._eval(item, env) for item in expr.items))
+
+    def _prim(self, expr: ast.Prim, env):
+        native = self.prims.get(expr.name)
+        if native is None:
+            raise EvalError(f"unknown primitive {expr.name!r}")
+        return native
+
+    def _const(self, expr: ast.Const, env):
+        return expr.value
+
+    # -- Section 6 extensions --------------------------------------------------
+
+    def _empty_bag(self, expr: ast.EmptyBag, env):
+        return Bag()
+
+    def _singleton_bag(self, expr: ast.SingletonBag, env):
+        return Bag((self._eval(expr.expr, env),))
+
+    def _bag_union(self, expr: ast.BagUnion, env):
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        return left.union(right)
+
+    def _bag_ext(self, expr: ast.BagExt, env):
+        source = self._eval(expr.source, env)
+        out = Bag()
+        for element in source:  # iterates with multiplicity
+            out = out.union(
+                self._eval(expr.body, Env.extend(env, expr.var, element))
+            )
+        return out
+
+    def _ext_rank(self, expr: ast.ExtRank, env):
+        source = self._eval(expr.source, env)
+        out: set = set()
+        for element, position in rank_elements(source):
+            inner = Env.extend(env, expr.var, element)
+            inner = Env.extend(inner, expr.idx, position)
+            out |= self._eval(expr.body, inner)
+        return frozenset(out)
+
+    def _bag_ext_rank(self, expr: ast.BagExtRank, env):
+        source = self._eval(expr.source, env)
+        # equal values get consecutive ranks, per Section 6
+        ordered = sort_values(source)
+        out = Bag()
+        for position, element in enumerate(ordered, start=1):
+            inner = Env.extend(env, expr.var, element)
+            inner = Env.extend(inner, expr.idx, position)
+            out = out.union(self._eval(expr.body, inner))
+        return out
+
+    _DISPATCH = {
+        ast.Var: _var,
+        ast.Lam: _lam,
+        ast.App: _app,
+        ast.TupleE: _tuple,
+        ast.Proj: _proj,
+        ast.EmptySet: _empty_set,
+        ast.Singleton: _singleton,
+        ast.Union: _union,
+        ast.Ext: _ext,
+        ast.BoolLit: _bool,
+        ast.If: _if,
+        ast.Cmp: _cmp,
+        ast.NatLit: _nat,
+        ast.RealLit: _real,
+        ast.StrLit: _str,
+        ast.Arith: _arith,
+        ast.Gen: _gen,
+        ast.Sum: _sum,
+        ast.Tabulate: _tabulate,
+        ast.Subscript: _subscript,
+        ast.Dim: _dim,
+        ast.IndexSet: _index,
+        ast.Get: _get,
+        ast.Bottom: _bottom,
+        ast.MkArray: _mk_array,
+        ast.Prim: _prim,
+        ast.Const: _const,
+        ast.EmptyBag: _empty_bag,
+        ast.SingletonBag: _singleton_bag,
+        ast.BagUnion: _bag_union,
+        ast.BagExt: _bag_ext,
+        ast.ExtRank: _ext_rank,
+        ast.BagExtRank: _bag_ext_rank,
+    }
+
+
+def apply_arith(op: str, left: Any, right: Any) -> Any:
+    """Overloaded arithmetic: monus/integer ops on nats, field ops on reals."""
+    nat_left = isinstance(left, int) and not isinstance(left, bool)
+    nat_right = isinstance(right, int) and not isinstance(right, bool)
+    if nat_left and nat_right:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return max(0, left - right)  # monus
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise BottomError("division by zero")
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise BottomError("modulo by zero")
+            return left % right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+            and not isinstance(left, bool) and not isinstance(right, bool):
+        if op == "+":
+            return float(left) + float(right)
+        if op == "-":
+            return float(left) - float(right)
+        if op == "*":
+            return float(left) * float(right)
+        if op == "/":
+            if right == 0:
+                raise BottomError("division by zero")
+            return float(left) / float(right)
+        raise BottomError(f"operator {op} is not defined on reals")
+    raise EvalError(f"arithmetic {op} on {left!r} and {right!r}")
+
+
+def index_set(pairs: frozenset, rank: int) -> Array:
+    """The semantics of ``index_k`` (Section 2).
+
+    Builds the k-dimensional array whose j-th dimension runs to the maximum
+    j-th key; holes get ``{}``; duplicate keys group all their values.
+    Runs in O(m + n log n) as the paper's cost analysis assumes.
+    """
+    keyed: Dict[tuple, set] = {}
+    maxima = [0] * rank
+    empty = True
+    for pair in pairs:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            raise EvalError(f"index expects (key, value) pairs, got {pair!r}")
+        key, value = pair
+        if rank == 1:
+            key_tuple = (key,)
+        else:
+            key_tuple = key
+        if (not isinstance(key_tuple, tuple) or len(key_tuple) != rank
+                or any(isinstance(k, bool) or not isinstance(k, int) or k < 0
+                       for k in key_tuple)):
+            raise EvalError(f"bad index key {key!r} for rank {rank}")
+        empty = False
+        for axis, position in enumerate(key_tuple):
+            maxima[axis] = max(maxima[axis], position)
+        keyed.setdefault(key_tuple, set()).add(value)
+    if empty:
+        return Array((0,) * rank, [])
+    dims = [m + 1 for m in maxima]
+    values = [
+        frozenset(keyed.get(index, ())) for index in iter_indices(dims)
+    ]
+    return Array(dims, values)
+
+
+def evaluate(expr: ast.Expr,
+             bindings: Optional[Mapping[str, Any]] = None,
+             prims: Optional[Mapping[str, NativePrim]] = None) -> Any:
+    """One-shot evaluation with an ad-hoc evaluator."""
+    return Evaluator(prims).run(expr, bindings)
+
+
+__all__ = [
+    "Env", "Closure", "Evaluator", "NativePrim",
+    "apply_arith", "index_set", "evaluate",
+]

@@ -1,0 +1,14 @@
+"""The environment module (Figure 3): the customizable top level.
+
+Holds everything the user can register dynamically (Section 4.1):
+external primitives, macros, vals, readers/writers and optimization
+rules.  :func:`~repro.env.environment.TopEnv.standard` builds the stock
+environment: builtin primitives (:mod:`repro.env.primitives`), the macro
+standard library written *in AQL itself* (:mod:`repro.env.stdlib`), the
+default drivers and the default optimizer.
+"""
+
+from repro.env.environment import TopEnv
+from repro.env.primitives import builtin_primitives, simple_prim
+
+__all__ = ["TopEnv", "builtin_primitives", "simple_prim"]

@@ -1,0 +1,204 @@
+"""The top-level environment: dynamic registration and name resolution.
+
+This is the openness story of Section 4.1: "new external functions, data
+readers/writers, and optimization rules can all be added dynamically to
+the AQL top-level environment by calling appropriate registration
+routines provided in the environment module."
+
+The environment holds four name spaces:
+
+* **primitives** — native functions with type schemes (``RegisterCO``);
+* **macros** — AQL queries registered under a name, typechecked at
+  declaration and *substituted into* queries before optimization;
+* **vals** — complex-object values (from ``val`` declarations and
+  ``readval``);
+* **drivers** — the reader/writer registry.
+
+plus the optimizer, whose rule bases are extensible through
+:meth:`TopEnv.register_rule`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core import ast
+from repro.core.eval import Evaluator
+from repro.core.typecheck import TypeChecker
+from repro.errors import RegistrationError, TypeCheckError
+from repro.io.drivers import DriverRegistry, default_registry
+from repro.optimizer.engine import Optimizer, Rule, default_optimizer
+from repro.types.types import Type, TypeScheme
+from repro.types.unify import generalize
+
+
+class TopEnv:
+    """The customizable AQL top-level environment."""
+
+    def __init__(self,
+                 drivers: Optional[DriverRegistry] = None,
+                 optimizer: Optional[Optimizer] = None,
+                 backend: str = "interpreter"):
+        if backend not in ("interpreter", "compiled"):
+            raise RegistrationError(f"unknown backend {backend!r}")
+        self._prim_impls: Dict[str, Callable[[Any, Evaluator], Any]] = {}
+        self._prim_schemes: Dict[str, TypeScheme] = {}
+        self._macros: Dict[str, Tuple[ast.Expr, TypeScheme]] = {}
+        self._vals: Dict[str, Any] = {}
+        self.drivers = drivers if drivers is not None else default_registry()
+        self.optimizer = (optimizer if optimizer is not None
+                          else default_optimizer())
+        self.backend = backend
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def standard(cls, backend: str = "interpreter") -> "TopEnv":
+        """The stock environment: builtins + the AQL standard library."""
+        from repro.env.primitives import builtin_primitives
+        from repro.env.stdlib import STDLIB_SOURCE
+        from repro.surface.parser import parse_program
+        from repro.surface.sast import MacroDecl
+        from repro.surface.desugar import Desugarer
+
+        env = cls(backend=backend)
+        for name, (impl, sig) in builtin_primitives().items():
+            env.register_primitive(name, impl, sig)
+        desugarer = Desugarer()
+        for statement in parse_program(STDLIB_SOURCE):
+            if not isinstance(statement, MacroDecl):  # pragma: no cover
+                raise RegistrationError("stdlib may only contain macros")
+            env.register_macro(statement.name,
+                               desugarer.desugar(statement.expr))
+        return env
+
+    # -- registration (Section 4.1) ------------------------------------------------
+
+    def register_primitive(self, name: str,
+                           impl: Callable[[Any, Evaluator], Any],
+                           signature: TypeScheme | Type,
+                           replace: bool = False) -> None:
+        """Register a native primitive (``impl(value, evaluator)``)."""
+        if name in self._prim_impls and not replace:
+            raise RegistrationError(f"primitive {name!r} already registered")
+        if isinstance(signature, Type):
+            signature = generalize(signature, {})
+        self._prim_impls[name] = impl
+        self._prim_schemes[name] = signature
+
+    def register_co(self, name: str, fn: Callable[[Any], Any],
+                    signature: TypeScheme | Type,
+                    replace: bool = False) -> None:
+        """The paper's ``RegisterCO``: lift a plain complex-object
+        function into a primitive."""
+        from repro.env.primitives import simple_prim
+
+        self.register_primitive(name, simple_prim(fn), signature, replace)
+
+    def register_macro(self, name: str, body: ast.Expr,
+                       replace: bool = False) -> TypeScheme:
+        """Register a macro: resolve, typecheck, generalize, store.
+
+        Returns the inferred scheme (the paper's ``typ`` echo line).
+        """
+        if name in self._macros and not replace:
+            raise RegistrationError(f"macro {name!r} already registered")
+        resolved = self.resolve(body)
+        try:
+            sig = self.typechecker().check_scheme(resolved)
+        except TypeCheckError as exc:
+            raise TypeCheckError(f"in macro {name!r}: {exc}") from exc
+        self._macros[name] = (resolved, sig)
+        return sig
+
+    def register_rule(self, phase: str, rule: Rule) -> None:
+        """Inject an optimization rule into a named phase."""
+        self.optimizer.register_rule(phase, rule)
+
+    def set_val(self, name: str, value: Any) -> None:
+        """Bind a complex-object value (``val``/``readval`` declarations)."""
+        self._vals[name] = value
+
+    def get_val(self, name: str) -> Any:
+        """The value bound to ``name`` (KeyError if unbound)."""
+        return self._vals[name]
+
+    def has_val(self, name: str) -> bool:
+        """Whether a value is bound to ``name``."""
+        return name in self._vals
+
+    def macro_names(self):
+        """Sorted names of all registered macros."""
+        return sorted(self._macros)
+
+    def macro_scheme(self, name: str) -> TypeScheme:
+        """The inferred type scheme of a registered macro."""
+        return self._macros[name][1]
+
+    # -- name resolution -----------------------------------------------------------
+
+    def resolve(self, expr: ast.Expr) -> ast.Expr:
+        """Resolve free variables: macros are substituted in, vals become
+        constants, primitives become ``Prim`` nodes.
+
+        Section 4.1's pipeline: "in preparation for optimization, any
+        macros defined in the top-level environment are substituted in."
+        """
+        return self._resolve(expr, frozenset())
+
+    def _resolve(self, expr: ast.Expr, bound: frozenset) -> ast.Expr:
+        if isinstance(expr, ast.Var):
+            if expr.name in bound:
+                return expr
+            macro = self._macros.get(expr.name)
+            if macro is not None:
+                return macro[0]
+            if expr.name in self._vals:
+                return ast.Const(self._vals[expr.name])
+            if expr.name in self._prim_impls:
+                return ast.Prim(expr.name)
+            return expr
+        new_children = []
+        for child, binders in expr.parts():
+            new_children.append(
+                self._resolve(child, bound | frozenset(binders))
+            )
+        return expr.with_parts(new_children)
+
+    # -- compilation services --------------------------------------------------------
+
+    def typechecker(self) -> TypeChecker:
+        """A typechecker primed with this environment's primitive schemes."""
+        return TypeChecker(self._prim_schemes)
+
+    def evaluator(self):
+        """The evaluation engine for the configured backend.
+
+        Both engines expose ``run(expr, bindings)`` and
+        ``apply_function``; "compiled" trades a one-time code-generation
+        pass for faster repeated evaluation (Section 3's code-generator
+        motivation).
+        """
+        if self.backend == "compiled":
+            from repro.core.compile import CompiledEvaluator
+
+            return CompiledEvaluator(self._prim_impls)
+        return Evaluator(self._prim_impls)
+
+    def compile(self, expr: ast.Expr,
+                optimize: bool = True) -> Tuple[ast.Expr, Type]:
+        """The query-processing pipeline of Section 4.1 after desugaring:
+        resolve → typecheck → optimize."""
+        resolved = self.resolve(expr)
+        inferred = self.typechecker().check(resolved)
+        if optimize:
+            resolved = self.optimizer.optimize(resolved)
+        return resolved, inferred
+
+    def evaluate(self, expr: ast.Expr, optimize: bool = True) -> Any:
+        """Compile and run a core expression to a complex-object value."""
+        compiled, _ = self.compile(expr, optimize)
+        return self.evaluator().run(compiled)
+
+
+__all__ = ["TopEnv"]

@@ -1,0 +1,55 @@
+"""Section 6: the expressive power of NRCA, made executable.
+
+The paper proves two theorems:
+
+* **Theorem 6.1** — NRCA ≡ NRC^aggr(gen): adding arrays to a complex
+  object language with aggregates amounts to adding ``gen``.
+* **Theorem 6.2** — NRC_r ≡ NBC_r ≡ NRCA: equivalently, it amounts to
+  adding *ranking* (the ``⋃_r``/``⊎_r`` constructs) uniformly across
+  sets and bags.
+
+We cannot re-prove the theorems, but we can (and do) implement their
+constructive content:
+
+* :mod:`~repro.expressiveness.fragments` — decide membership of an
+  expression in each language fragment;
+* :mod:`~repro.expressiveness.encode` — the object translation (·)° of
+  the Theorem 6.1 proof hint (with the error flag);
+* :mod:`~repro.expressiveness.array_elim` — an executable compilation of
+  NRCA into NRC^aggr(gen), representing arrays by their graphs (the
+  nontrivial inclusion NRCA ⊆ NRC^aggr(gen));
+* :mod:`~repro.expressiveness.rank` — the ⋃_r construct: ``rank``, plus
+  an executable elimination of ⋃_r into NRC^aggr (the inclusion
+  NRC_r ⊆ NRCA);
+* :mod:`~repro.expressiveness.bags` — NBC_r value helpers, including the
+  "n as a bag of n identical elements" simulation.
+"""
+
+from repro.expressiveness.fragments import (
+    fragment_of,
+    in_nbc,
+    in_nbc_r,
+    in_nrc,
+    in_nrc_aggr,
+    in_nrc_aggr_gen,
+    in_nrc_r,
+    in_nrca,
+)
+from repro.expressiveness.encode import decode_object, encode_object
+from repro.expressiveness.array_elim import (
+    eliminate_arrays,
+    decode_value,
+    encode_value,
+    translate_type,
+)
+from repro.expressiveness.rank import eliminate_rank, rank_expr
+from repro.expressiveness.bags import bag_of_nat, nat_of_bag, set_to_bag
+
+__all__ = [
+    "fragment_of", "in_nrc", "in_nrc_aggr", "in_nrc_aggr_gen", "in_nrca",
+    "in_nrc_r", "in_nbc", "in_nbc_r",
+    "encode_object", "decode_object",
+    "eliminate_arrays", "encode_value", "decode_value", "translate_type",
+    "eliminate_rank", "rank_expr",
+    "bag_of_nat", "nat_of_bag", "set_to_bag",
+]

@@ -1,0 +1,87 @@
+"""Bag-side helpers for NBC_r (Theorem 6.2).
+
+The ranked bag union ``⊎_r`` lives in the core AST
+(:class:`~repro.core.ast.BagExtRank`, with "equal values ... assigned
+consecutive integers").  This module adds the value- and expression-level
+apparatus Section 6 mentions:
+
+* "We do not add the type of natural numbers explicitly because the
+  number n can be simulated as a bag of n identical elements" —
+  :func:`bag_of_nat` / :func:`nat_of_bag`;
+* conversions between set- and bag-based complex objects;
+* ``bag_rank`` — the ⊎_r analogue of ``rank``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import ast
+from repro.objects.bag import Bag
+
+#: the unit element used when a natural is simulated as a bag
+UNIT = True
+
+
+def bag_of_nat(n: int) -> Bag:
+    """Simulate the natural ``n`` as a bag of ``n`` identical elements."""
+    if n < 0:
+        raise ValueError("naturals are non-negative")
+    return Bag.from_counts({UNIT: n}) if n else Bag()
+
+
+def nat_of_bag(bag: Bag) -> int:
+    """Recover a natural from its bag simulation (total multiplicity)."""
+    return len(bag)
+
+
+def set_to_bag(value: frozenset) -> Bag:
+    """Inject a set into a bag (all multiplicities 1)."""
+    return Bag(value)
+
+
+def bag_support(value: Bag) -> frozenset:
+    """The underlying set of a bag (the ε of [19])."""
+    return value.support()
+
+
+def deep_set_to_bag(value: Any) -> Any:
+    """Recursively convert set-based complex objects to bag-based ones."""
+    if isinstance(value, frozenset):
+        return Bag(deep_set_to_bag(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(deep_set_to_bag(v) for v in value)
+    return value
+
+
+def deep_bag_to_set(value: Any) -> Any:
+    """Forget multiplicities recursively (left inverse on set images)."""
+    if isinstance(value, Bag):
+        return frozenset(deep_bag_to_set(v) for v in value.support())
+    if isinstance(value, frozenset):
+        return frozenset(deep_bag_to_set(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(deep_bag_to_set(v) for v in value)
+    return value
+
+
+def bag_rank_expr(source: ast.Expr) -> ast.Expr:
+    """``⊎_r{|{(x, i)}| | x_i ∈ B|}`` — ranks with multiplicity.
+
+    Equal values receive consecutive ranks, so the result is a bag of
+    *distinct* (value, rank) pairs whose size equals the size of ``B`` —
+    this is exactly what lets NBC_r express ``count`` without arithmetic.
+    """
+    x = ast.fresh_var("x")
+    i = ast.fresh_var("i")
+    return ast.BagExtRank(
+        x, i,
+        ast.SingletonBag(ast.TupleE((ast.Var(x), ast.Var(i)))),
+        source,
+    )
+
+
+__all__ = [
+    "UNIT", "bag_of_nat", "nat_of_bag", "set_to_bag", "bag_support",
+    "deep_set_to_bag", "deep_bag_to_set", "bag_rank_expr",
+]

@@ -1,0 +1,126 @@
+"""The object translation (·)° of the Theorem 6.1 proof hint.
+
+"Here we just hint at how this translation works by showing a translation
+of NRCA objects into NRC^aggr objects.  For simplicity, we deal with
+pairs and not tuples and only one-dimensional arrays.  Each object is
+translated into a pair":
+
+.. code-block:: none
+
+    x° = {x}                      for x of base type
+    (x, y)° = {(x°, y°)}
+    {x1, ..., xn}° = {x1°, ..., xn°}
+    ⊥° = {}
+    [[e0, ..., e_{n-1}]]° = {((e0)°, 0), ..., ((e_{n-1})°, n-1)}
+
+"The second component of the translation is used as a flag for errors."
+We realize the flag as a natural: 1 = defined, 0 = ⊥.  Unlike the paper's
+hint we support k-tuples and k-dimensional arrays (indices become
+k-tuples), since nothing in the construction depends on the restriction.
+
+``decode_object`` is type-directed (the encoding of ``{}`` and of ``⊥``
+coincide in the first component — the flag disambiguates at top level,
+and below top level ⊥ cannot occur inside a defined value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import BottomError, EvalError
+from repro.objects.array import Array, iter_indices
+from repro.types.types import (
+    TArray,
+    TBase,
+    TBool,
+    TNat,
+    TProduct,
+    TReal,
+    TSet,
+    TString,
+    Type,
+    TVar,
+)
+
+#: the error flag values
+DEFINED = 1
+UNDEFINED = 0
+
+
+def encode_object(value: Any) -> Tuple[Any, int]:
+    """Encode an NRCA object (or ⊥, passed as ``None``) as (·°, flag)."""
+    if value is None:
+        return frozenset(), UNDEFINED
+    return _degree(value), DEFINED
+
+
+def _degree(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)):
+        return frozenset((value,))
+    if isinstance(value, tuple):
+        return frozenset((tuple(_degree(item) for item in value),))
+    if isinstance(value, frozenset):
+        return frozenset(_degree(item) for item in value)
+    if isinstance(value, Array):
+        if value.rank == 1:
+            return frozenset(
+                (_degree(item), position)
+                for position, item in enumerate(value.flat)
+            )
+        return frozenset(
+            (_degree(item), index)
+            for index, item in zip(value.indices(), value.flat)
+        )
+    raise EvalError(f"cannot encode {value!r}")
+
+
+def decode_object(encoded: Tuple[Any, int], object_type: Type) -> Any:
+    """Invert :func:`encode_object`; raises ⊥ when the flag says so."""
+    first, flag = encoded
+    if flag == UNDEFINED:
+        raise BottomError("decoded an encoded ⊥")
+    return _undegree(first, object_type)
+
+
+def _undegree(value: Any, object_type: Type) -> Any:
+    if isinstance(object_type, (TBool, TNat, TReal, TString, TBase, TVar)):
+        if not isinstance(value, frozenset) or len(value) != 1:
+            raise EvalError(f"bad base encoding {value!r}")
+        (inner,) = value
+        return inner
+    if isinstance(object_type, TProduct):
+        if not isinstance(value, frozenset) or len(value) != 1:
+            raise EvalError(f"bad tuple encoding {value!r}")
+        (inner,) = value
+        return tuple(
+            _undegree(component, item_type)
+            for component, item_type in zip(inner, object_type.items)
+        )
+    if isinstance(object_type, TSet):
+        return frozenset(
+            _undegree(item, object_type.elem) for item in value
+        )
+    if isinstance(object_type, TArray):
+        rank = object_type.rank
+        keyed = {}
+        maxima = [0] * rank
+        for pair in value:
+            encoded_item, key = pair
+            key_tuple = (key,) if rank == 1 else key
+            keyed[key_tuple] = _undegree(encoded_item, object_type.elem)
+            for axis, position in enumerate(key_tuple):
+                maxima[axis] = max(maxima[axis], position)
+        if not keyed:
+            return Array((0,) * rank, [])
+        dims = [m + 1 for m in maxima]
+        try:
+            flat = [keyed[index] for index in iter_indices(dims)]
+        except KeyError as exc:
+            raise EvalError(
+                f"array encoding has holes at {exc}"
+            ) from exc
+        return Array(dims, flat)
+    raise EvalError(f"cannot decode at type {object_type}")
+
+
+__all__ = ["DEFINED", "UNDEFINED", "encode_object", "decode_object"]

@@ -1,0 +1,109 @@
+"""Language-fragment membership (the sublanguages of Section 6).
+
+The fragments are defined by which constructs an expression uses:
+
+========================  =====================================================
+fragment                  constructs
+========================  =====================================================
+NRC                       functions, products, sets, booleans, comparisons
+NRC^aggr                  NRC + naturals, arithmetic, Σ
+NRC^aggr(gen)             NRC^aggr + ``gen``
+NRCA                      NRC^aggr(gen) + arrays (Figure 1)
+NRC_r                     NRC + naturals + ``gen`` + ``⋃_r``
+NBC                       bag mirror of NRC
+NBC_r                     NBC + ``⊎_r``
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core import ast
+
+_NRC: Tuple[type, ...] = (
+    ast.Var, ast.Lam, ast.App, ast.TupleE, ast.Proj,
+    ast.EmptySet, ast.Singleton, ast.Union, ast.Ext,
+    ast.BoolLit, ast.If, ast.Cmp, ast.Get, ast.Bottom,
+    ast.StrLit, ast.RealLit, ast.Const, ast.Prim,
+)
+_NAT: Tuple[type, ...] = (ast.NatLit, ast.Arith, ast.Sum)
+_ARRAYS: Tuple[type, ...] = (
+    ast.Tabulate, ast.Subscript, ast.Dim, ast.IndexSet, ast.MkArray,
+)
+_BAG_CORE: Tuple[type, ...] = (
+    ast.Var, ast.Lam, ast.App, ast.TupleE, ast.Proj,
+    ast.EmptyBag, ast.SingletonBag, ast.BagUnion, ast.BagExt,
+    ast.BoolLit, ast.If, ast.Cmp, ast.Bottom,
+    ast.StrLit, ast.RealLit, ast.Const, ast.Prim,
+)
+
+
+def _uses_only(expr: ast.Expr, allowed: Tuple[type, ...]) -> bool:
+    return all(isinstance(node, allowed) for node in ast.subterms(expr))
+
+
+def in_nrc(expr: ast.Expr) -> bool:
+    """Pure nested relational calculus (no naturals, no arrays)."""
+    return _uses_only(expr, _NRC)
+
+
+def in_nrc_aggr(expr: ast.Expr) -> bool:
+    """NRC + arithmetic + Σ — the "theoretical reconstruction of SQL"."""
+    return _uses_only(expr, _NRC + _NAT)
+
+
+def in_nrc_aggr_gen(expr: ast.Expr) -> bool:
+    """NRC^aggr extended with ``gen`` (the Theorem 6.1 equivalent of NRCA)."""
+    return _uses_only(expr, _NRC + _NAT + (ast.Gen,))
+
+
+def in_nrca(expr: ast.Expr) -> bool:
+    """The full calculus of Figure 1."""
+    return _uses_only(expr, _NRC + _NAT + (ast.Gen,) + _ARRAYS)
+
+
+def in_nrc_r(expr: ast.Expr) -> bool:
+    """NRC + naturals + gen + the ranked union ⋃_r (Theorem 6.2).
+
+    Note: per the paper's definition NRC_r adds the *type* of naturals
+    and ``gen``; we also admit literals and arithmetic-free Σ is not
+    included — arithmetic beyond literals is not part of NRC_r.
+    """
+    allowed = _NRC + (ast.NatLit, ast.Gen, ast.ExtRank)
+    return _uses_only(expr, allowed)
+
+
+def in_nbc(expr: ast.Expr) -> bool:
+    """The bag calculus NBC."""
+    return _uses_only(expr, _BAG_CORE)
+
+
+def in_nbc_r(expr: ast.Expr) -> bool:
+    """NBC + the ranked bag union ⊎_r."""
+    return _uses_only(expr, _BAG_CORE + (ast.BagExtRank, ast.NatLit))
+
+
+def fragment_of(expr: ast.Expr) -> str:
+    """The smallest named fragment containing ``expr`` (best effort)."""
+    if in_nrc(expr):
+        return "NRC"
+    if in_nbc(expr):
+        return "NBC"
+    if in_nrc_aggr(expr):
+        return "NRC^aggr"
+    if in_nrc_aggr_gen(expr):
+        return "NRC^aggr(gen)"
+    if in_nrc_r(expr):
+        return "NRC_r"
+    if in_nbc_r(expr):
+        return "NBC_r"
+    if in_nrca(expr):
+        return "NRCA"
+    return "NRCA+extensions"
+
+
+__all__ = [
+    "in_nrc", "in_nrc_aggr", "in_nrc_aggr_gen", "in_nrca",
+    "in_nrc_r", "in_nbc", "in_nbc_r", "fragment_of",
+]

@@ -1,0 +1,32 @@
+"""External GPPL primitives and synthetic data (the paper's examples).
+
+The paper advocates "an approach in which data extraction and
+manipulation are handled by the query language, but computation-intensive
+algorithms are handled by domain-specific external primitives written in
+GPPLs."  This package is our GPPL side:
+
+* :mod:`repro.external.heatindex` — the ``heatindex`` algorithm of the
+  Section 1 motivating query (NWS Rothfusz regression).
+* :mod:`repro.external.solar` — the ``sunset`` computation of the
+  Section 4.2 sample session (NOAA-style solar geometry).
+* :mod:`repro.external.weather` — a deterministic synthetic weather
+  generator standing in for the authors' proprietary ``temp.nc``
+  (see DESIGN.md, substitutions).
+"""
+
+from repro.external.heatindex import heat_index, heatindex_day
+from repro.external.solar import sunset_hour
+from repro.external.weather import (
+    WeatherModel,
+    june_arrays,
+    write_year_netcdf,
+)
+
+__all__ = [
+    "heat_index",
+    "heatindex_day",
+    "sunset_hour",
+    "WeatherModel",
+    "june_arrays",
+    "write_year_netcdf",
+]

@@ -1,0 +1,86 @@
+"""Coordinate-valued indices (Section 7 future work, implemented).
+
+"We would like to investigate techniques for providing more meaningful
+data types such as longitudes and latitudes as indices for scientific
+arrays."  NetCDF convention does exactly this with *coordinate
+variables*: a 1-d array mapping each index of a dimension to its
+physical coordinate.  These primitives close the loop:
+
+* ``coord_floor!(C, v)``   — largest index i with C[i] <= v (⊥ if v is
+  below every coordinate);
+* ``coord_nearest!(C, v)`` — index whose coordinate is closest to v;
+* ``coord_index!(C, v)``   — index with C[i] = v exactly (⊥ if absent).
+
+All three are O(log n) binary searches over the (sorted ascending)
+coordinate array, so subscripting by physical coordinate —
+``T[coord_nearest!(LAT, 40.78)]`` — costs what subscripting by index
+does.  Registered by :func:`register_coordinate_primitives`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.errors import BottomError, EvalError
+from repro.objects.array import Array
+from repro.types.types import TArray, TArrow, TNat, TProduct, TReal
+
+
+def _validate(value: Any) -> tuple:
+    if not isinstance(value, tuple) or len(value) != 2 \
+            or not isinstance(value[0], Array) or value[0].rank != 1:
+        raise EvalError(
+            "coordinate lookup expects (coordinate_array, value)"
+        )
+    coords, probe = value
+    return list(coords.flat), float(probe)
+
+
+def coord_floor(value: Any) -> int:
+    """Largest index whose coordinate does not exceed the probe."""
+    coords, probe = _validate(value)
+    position = bisect.bisect_right(coords, probe) - 1
+    if position < 0:
+        raise BottomError(
+            f"coordinate {probe} below the first grid point"
+        )
+    return position
+
+
+def coord_nearest(value: Any) -> int:
+    """Index of the coordinate closest to the probe (ties go low)."""
+    coords, probe = _validate(value)
+    if not coords:
+        raise BottomError("nearest lookup in an empty coordinate array")
+    position = bisect.bisect_left(coords, probe)
+    if position == 0:
+        return 0
+    if position == len(coords):
+        return len(coords) - 1
+    before = probe - coords[position - 1]
+    after = coords[position] - probe
+    return position - 1 if before <= after else position
+
+
+def coord_index(value: Any) -> int:
+    """Index whose coordinate equals the probe exactly, else ⊥."""
+    coords, probe = _validate(value)
+    position = bisect.bisect_left(coords, probe)
+    if position < len(coords) and coords[position] == probe:
+        return position
+    raise BottomError(f"coordinate {probe} is not a grid point")
+
+
+def register_coordinate_primitives(env) -> None:
+    """Register the three lookups on a :class:`~repro.env.TopEnv`."""
+    signature = TArrow(TProduct((TArray(TReal(), 1), TReal())), TNat())
+    env.register_co("coord_floor", coord_floor, signature)
+    env.register_co("coord_nearest", coord_nearest, signature)
+    env.register_co("coord_index", coord_index, signature)
+
+
+__all__ = [
+    "coord_floor", "coord_nearest", "coord_index",
+    "register_coordinate_primitives",
+]

@@ -1,0 +1,84 @@
+"""The ``heatindex`` external primitive of the Section 1 query.
+
+"we measure 'unbearability' via a predefined algorithm heatindex.  We
+assume this algorithm expects as input a one-dimensional array of triples
+containing a day's worth of hourly (temperature, relative humidity, wind
+speed) readings."
+
+The hourly heat index uses the NWS Rothfusz regression (the operational
+US National Weather Service formula), with the standard low-HI
+adjustment; wind speed damps the perceived index slightly (a simple
+linear apparent-temperature correction), and the day's *score* is the
+maximum hourly value — a day is "unbearable" when its score exceeds a
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.errors import EvalError
+from repro.objects.array import Array
+
+# Rothfusz regression coefficients (NWS SR 90-23)
+_C = (
+    -42.379, 2.04901523, 10.14333127, -0.22475541,
+    -6.83783e-3, -5.481717e-2, 1.22874e-3, 8.5282e-4, -1.99e-6,
+)
+
+
+def heat_index(temp_f: float, humidity_pct: float) -> float:
+    """Hourly heat index (°F) from temperature (°F) and RH (%)."""
+    t = float(temp_f)
+    rh = float(humidity_pct)
+    if t < 80.0:
+        # the simple Steadman average used by the NWS below 80°F
+        return 0.5 * (t + 61.0 + (t - 68.0) * 1.2 + rh * 0.094)
+    hi = (_C[0] + _C[1] * t + _C[2] * rh + _C[3] * t * rh
+          + _C[4] * t * t + _C[5] * rh * rh + _C[6] * t * t * rh
+          + _C[7] * t * rh * rh + _C[8] * t * t * rh * rh)
+    if rh < 13.0 and 80.0 <= t <= 112.0:
+        hi -= ((13.0 - rh) / 4.0) * ((17.0 - abs(t - 95.0)) / 17.0) ** 0.5
+    elif rh > 85.0 and 80.0 <= t <= 87.0:
+        hi += ((rh - 85.0) / 10.0) * ((87.0 - t) / 5.0)
+    return hi
+
+
+def apparent_heat(temp_f: float, humidity_pct: float,
+                  wind_mph: float) -> float:
+    """Heat index with a simple wind damping term.
+
+    Moving air carries heat away; we use a linear correction capped so
+    wind never flips a hot day into a cold one.
+    """
+    damped = heat_index(temp_f, humidity_pct) - 0.3 * min(float(wind_mph), 25.0)
+    return damped
+
+
+def heatindex_day(readings: Iterable[Tuple[float, float, float]]) -> float:
+    """The paper's ``heatindex``: a day's (T, RH, WS) triples → score.
+
+    The score is the maximum hourly apparent heat index over the day.
+    """
+    best = None
+    for triple in readings:
+        if not isinstance(triple, tuple) or len(triple) != 3:
+            raise EvalError(
+                f"heatindex expects (temp, rh, wind) triples, got {triple!r}"
+            )
+        value = apparent_heat(*triple)
+        if best is None or value > best:
+            best = value
+    if best is None:
+        raise EvalError("heatindex of an empty day")
+    return best
+
+
+def heatindex_prim(value) -> float:
+    """Native-primitive wrapper: AQL array of triples → real score."""
+    if not isinstance(value, Array):
+        raise EvalError("heatindex expects a 1-d array of triples")
+    return heatindex_day(value.flat)
+
+
+__all__ = ["heat_index", "apparent_heat", "heatindex_day", "heatindex_prim"]

@@ -1,0 +1,78 @@
+"""The ``sunset`` external primitive of the Section 4.2 session.
+
+"we choose to use an external function sunset which computes the time of
+sunset for a given longitude and latitude on a given day" — registered in
+the session as ``june_sunset``.
+
+The computation is standard solar geometry (NOAA-style, simplified):
+solar declination from the day of year, the sunset hour angle from
+``cos(H) = -tan(lat)·tan(decl)``, local solar time corrected to local
+standard time by the longitude offset from the time-zone meridian.
+Deterministic and dependency-free; accuracy of a few minutes, which is
+all the query needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EvalError
+
+#: cumulative days before each month (non-leap)
+_CUM_DAYS = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+def day_of_year(month: int, day: int, year: int) -> int:
+    """1-based day of the year, with the standard leap-year rule."""
+    if not (1 <= month <= 12):
+        raise EvalError(f"bad month {month}")
+    doy = _CUM_DAYS[month - 1] + day
+    if month > 2 and year % 4 == 0 and (year % 100 != 0 or year % 400 == 0):
+        doy += 1
+    return doy
+
+
+def solar_declination(doy: int) -> float:
+    """Solar declination (radians) for a day of year (Cooper's formula)."""
+    return math.radians(23.45) * math.sin(
+        2.0 * math.pi * (284 + doy) / 365.0
+    )
+
+
+def sunset_hour(latitude: float, longitude: float,
+                month: int, day: int, year: int) -> int:
+    """Local standard time hour (0-23) of sunset.
+
+    Positive ``latitude`` is north; positive ``longitude`` is *west*
+    (the convention for NYC ≈ (40.78, 73.97) used in the examples).
+    Polar day/night clamp to 23 / 0 respectively.
+    """
+    doy = day_of_year(month, day, year)
+    decl = solar_declination(doy)
+    lat = math.radians(latitude)
+    cos_h = -math.tan(lat) * math.tan(decl)
+    if cos_h <= -1.0:
+        return 23  # sun never sets
+    if cos_h >= 1.0:
+        return 0  # sun never rises
+    hour_angle = math.degrees(math.acos(cos_h))
+    solar_sunset = 12.0 + hour_angle / 15.0
+    # longitude correction against the center of the local time zone
+    zone_meridian = round(longitude / 15.0) * 15.0
+    local_sunset = solar_sunset + (longitude - zone_meridian) / 15.0
+    hour = int(local_sunset) % 24
+    return hour
+
+
+def june_sunset_prim(value) -> int:
+    """Native-primitive wrapper matching the paper's ``june_sunset``:
+    ``(lat, lon, day) -> nat`` with month fixed to June 1995."""
+    if not isinstance(value, tuple) or len(value) != 3:
+        raise EvalError("june_sunset expects (lat, lon, day)")
+    lat, lon, day = value
+    return sunset_hour(float(lat), float(lon), 6, int(day), 1995)
+
+
+__all__ = [
+    "day_of_year", "solar_declination", "sunset_hour", "june_sunset_prim",
+]

@@ -1,0 +1,183 @@
+"""Deterministic synthetic weather — the stand-in for the authors' data.
+
+The paper's examples read a proprietary NetCDF file (``temp.nc``,
+"a year's worth of hourly temperature readings varying over time,
+latitude, and longitude") and three June arrays (hourly temperature,
+hourly relative humidity, half-hourly wind speed over altitudes).  We
+generate the closest synthetic equivalent:
+
+* smooth seasonal + diurnal structure with a small deterministic
+  pseudo-noise term (a hash-style sine fold — no RNG state, so every run
+  and every test sees identical data);
+* a late-June heat wave on June 25, 27 and 28, so the Section 4.2 query
+  "What days last June was it hotter than 85° after sunset?" returns
+  ``{25, 27, 28}``, the very answer printed in the paper's session.
+
+The generated files are genuine NetCDF classic files written by
+:mod:`repro.io.netcdf`, so the whole driver path is exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.io.netcdf import write_netcdf
+from repro.objects.array import Array
+
+#: NYC coordinates used across the examples (west-positive longitude)
+NY_LAT = 40.78
+NY_LON = 73.97
+
+#: day-of-June -> extra °F during the heat wave (tuned so that evening
+#: temperatures exceed 85°F exactly on June 25, 27 and 28)
+HEAT_WAVE: Dict[int, float] = {24: 1.5, 25: 7.0, 26: 1.0, 27: 6.5, 28: 8.0}
+
+_DAYS_BEFORE_JUNE = 151  # non-leap year (the session uses 1995)
+
+
+def _pseudo_noise(*seeds: float) -> float:
+    """A deterministic hash-style value in [-1, 1] (no RNG state)."""
+    accumulator = 0.0
+    for position, seed in enumerate(seeds, start=1):
+        accumulator += math.sin(seed * 12.9898 * position + 78.233)
+    folded = math.sin(accumulator * 43758.5453)
+    return folded
+
+
+@dataclass
+class WeatherModel:
+    """Synthetic NYC-like weather with seasonal/diurnal structure."""
+
+    annual_mean_f: float = 62.0
+    seasonal_amplitude_f: float = 20.0
+    diurnal_amplitude_f: float = 8.0
+    noise_amplitude_f: float = 1.2
+    peak_doy: int = 201  # around July 20
+    peak_hour: int = 15
+
+    def temperature_f(self, doy: int, hour: float,
+                      lat_offset: float = 0.0,
+                      lon_offset: float = 0.0) -> float:
+        """Temperature (°F) for a day-of-year and local hour."""
+        seasonal = self.seasonal_amplitude_f * math.cos(
+            2.0 * math.pi * (doy - self.peak_doy) / 365.0
+        )
+        diurnal = self.diurnal_amplitude_f * math.cos(
+            2.0 * math.pi * (hour - self.peak_hour) / 24.0
+        )
+        noise = self.noise_amplitude_f * _pseudo_noise(doy, hour)
+        bump = 0.0
+        june_day = doy - _DAYS_BEFORE_JUNE
+        if 1 <= june_day <= 30:
+            bump = HEAT_WAVE.get(june_day, 0.0)
+        spatial = -1.5 * lat_offset + 0.8 * lon_offset
+        return (self.annual_mean_f + seasonal + diurnal + noise
+                + bump + spatial)
+
+    def humidity_pct(self, doy: int, hour: float) -> float:
+        """Relative humidity (%), anticorrelated with temperature."""
+        temp = self.temperature_f(doy, hour)
+        base = 68.0 - 0.6 * (temp - 70.0)
+        diurnal = 8.0 * math.cos(2.0 * math.pi * (hour - 5.0) / 24.0)
+        value = base + diurnal + 2.0 * _pseudo_noise(doy, hour, 3.0)
+        return max(15.0, min(98.0, value))
+
+    def wind_mph(self, doy: int, hour: float, altitude_level: int) -> float:
+        """Wind speed (mph) at an altitude level (0 = surface)."""
+        base = 6.0 + 2.5 * math.sin(2.0 * math.pi * (hour - 13.0) / 24.0)
+        gradient = 3.5 * altitude_level
+        gusts = 1.5 * _pseudo_noise(doy, hour, float(altitude_level))
+        return max(0.0, base + gradient + gusts)
+
+
+def june_arrays(model: WeatherModel | None = None,
+                altitude_levels: int = 4
+                ) -> Tuple[Array, Array, Array]:
+    """The three input arrays of the Section 1 motivating query.
+
+    Returns ``(T, RH, WS)``:
+
+    * ``T``  — ``[[real]]_1``, 720 hourly June temperatures;
+    * ``RH`` — ``[[real]]_1``, 720 hourly June relative humidities;
+    * ``WS`` — ``[[real]]_2`` of dims (1440, levels): half-hourly June
+      wind speeds over altitude levels (level 0 = surface) — note the
+      extra dimension *and* the finer gridding, the paper's point.
+    """
+    model = model or WeatherModel()
+    temps: List[float] = []
+    humidities: List[float] = []
+    winds: List[float] = []
+    for day in range(1, 31):
+        doy = _DAYS_BEFORE_JUNE + day
+        for hour in range(24):
+            temps.append(model.temperature_f(doy, hour))
+            humidities.append(model.humidity_pct(doy, hour))
+    for day in range(1, 31):
+        doy = _DAYS_BEFORE_JUNE + day
+        for half_hour in range(48):
+            hour = half_hour / 2.0
+            for level in range(altitude_levels):
+                winds.append(model.wind_mph(doy, hour, level))
+    return (
+        Array((720,), temps),
+        Array((720,), humidities),
+        Array((30 * 48, altitude_levels), winds),
+    )
+
+
+def write_year_netcdf(path: str, model: WeatherModel | None = None,
+                      lat_points: int = 3, lon_points: int = 3,
+                      year: int = 1995) -> None:
+    """Write a year of hourly temperatures varying over (time, lat, lon).
+
+    This is the synthetic ``temp.nc`` of the Section 4.2 sample session.
+    The grid is centred on NYC; index (lat_points//2, lon_points//2) is
+    the NYC cell.
+    """
+    model = model or WeatherModel()
+    days = 366 if year % 4 == 0 and (year % 100 != 0 or year % 400 == 0) \
+        else 365
+    values: List[float] = []
+    half_lat = lat_points // 2
+    half_lon = lon_points // 2
+    for doy in range(1, days + 1):
+        for hour in range(24):
+            for lat_cell in range(lat_points):
+                for lon_cell in range(lon_points):
+                    values.append(model.temperature_f(
+                        doy, hour,
+                        lat_offset=float(lat_cell - half_lat),
+                        lon_offset=float(lon_cell - half_lon),
+                    ))
+    write_netcdf(
+        path,
+        dimensions={"time": None, "lat": lat_points, "lon": lon_points},
+        variables={
+            "temp": ("double", ("time", "lat", "lon"), values),
+        },
+        attributes={
+            "title": f"synthetic hourly surface temperature, {year}",
+            "center_lat": NY_LAT,
+            "center_lon": NY_LON,
+        },
+    )
+
+
+def lat_index(latitude: float, lat_points: int = 3) -> int:
+    """Grid index of a latitude in the synthetic file (NYC-centred)."""
+    offset = round(latitude - NY_LAT)
+    return max(0, min(lat_points - 1, lat_points // 2 + int(offset)))
+
+
+def lon_index(longitude: float, lon_points: int = 3) -> int:
+    """Grid index of a longitude in the synthetic file (NYC-centred)."""
+    offset = round(longitude - NY_LON)
+    return max(0, min(lon_points - 1, lon_points // 2 + int(offset)))
+
+
+__all__ = [
+    "NY_LAT", "NY_LON", "HEAT_WAVE", "WeatherModel",
+    "june_arrays", "write_year_netcdf", "lat_index", "lon_index",
+]

@@ -1,0 +1,29 @@
+"""The I/O module (Figure 3): data drivers and the reader/writer registry.
+
+The paper's system reads "legacy" scientific data through registered
+*readers* and emits results through *writers* (Section 4.1).  The NetCDF
+driver is implemented from scratch as a pure-Python codec for the NetCDF
+*classic* on-disk format (CDF-1/CDF-2), both reading and writing, so the
+test suite works on genuine ``.nc`` files.
+"""
+
+from repro.io.netcdf import (
+    NetCDFDataset,
+    NetCDFVariable,
+    read_netcdf,
+    read_variable,
+    write_netcdf,
+)
+from repro.io.drivers import DriverRegistry, default_registry
+from repro.io.sqlreader import make_sql_reader
+
+__all__ = [
+    "NetCDFDataset",
+    "NetCDFVariable",
+    "read_netcdf",
+    "read_variable",
+    "write_netcdf",
+    "DriverRegistry",
+    "default_registry",
+    "make_sql_reader",
+]

@@ -1,0 +1,247 @@
+"""Immutable k-dimensional arrays with rectangular domain.
+
+The paper's central design decision (Section 2) is that arrays are *partial
+functions of finite rectangular domain*: a k-dimensional array of type
+``[[t]]_k`` maps each index tuple ``(i_1, ..., i_k)`` with ``0 <= i_j < n_j``
+to a value of type ``t``.  :class:`Array` realizes that view:
+
+* it is immutable (an array *is* a function, not an updatable buffer);
+* its domain is fully determined by ``dims`` — no holes, zero-based;
+* values are stored flat in row-major order, so ``A[i, j]`` is
+  ``flat[i * n_2 + j]`` for a 2-d array.
+
+Any dimension may be zero, in which case the array is empty but its
+dimensionality and the lengths of the other dimensions are still
+meaningful (``dim`` observes them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import BottomError
+
+
+def _row_major_strides(dims: Sequence[int]) -> tuple[int, ...]:
+    """Return row-major strides for ``dims`` (last dimension varies fastest)."""
+    strides = [1] * len(dims)
+    for axis in range(len(dims) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * dims[axis + 1]
+    return tuple(strides)
+
+
+class Array:
+    """An immutable k-dimensional array (``k >= 1``) in row-major order.
+
+    Parameters
+    ----------
+    dims:
+        The lengths ``(n_1, ..., n_k)`` of the ``k`` dimensions.
+    values:
+        Exactly ``n_1 * ... * n_k`` values in row-major order.
+
+    The class is hashable provided its elements are, so arrays can be
+    members of sets — required because the object types of the calculus
+    nest freely (``{[[t]]_k}`` is a type).
+    """
+
+    __slots__ = ("_dims", "_flat", "_strides", "_hash")
+
+    def __init__(self, dims: Sequence[int], values: Iterable[Any]):
+        dims_t = tuple(int(d) for d in dims)
+        if not dims_t:
+            raise ValueError("arrays must have at least one dimension")
+        if any(d < 0 for d in dims_t):
+            raise ValueError(f"negative dimension in {dims_t}")
+        flat = tuple(values)
+        expected = 1
+        for d in dims_t:
+            expected *= d
+        if len(flat) != expected:
+            raise ValueError(
+                f"dims {dims_t} require {expected} values, got {len(flat)}"
+            )
+        self._dims = dims_t
+        self._flat = flat
+        self._strides = _row_major_strides(dims_t)
+        self._hash: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_list(cls, values: Sequence[Any]) -> "Array":
+        """Build a one-dimensional array from a Python sequence."""
+        values = list(values)
+        return cls((len(values),), values)
+
+    @classmethod
+    def from_nested(cls, nested: Sequence[Any], rank: int) -> "Array":
+        """Build a ``rank``-dimensional array from nested Python sequences.
+
+        The nesting must be rectangular; raggedness raises ``ValueError``.
+        """
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        dims: list[int] = []
+        probe: Any = nested
+        for level in range(rank):
+            if not isinstance(probe, (list, tuple)):
+                raise ValueError(f"expected nesting depth {rank}, ran out at {level}")
+            dims.append(len(probe))
+            probe = probe[0] if len(probe) > 0 else None
+        flat: list[Any] = []
+
+        def walk(node: Any, level: int) -> None:
+            if level == rank:
+                flat.append(node)
+                return
+            if not isinstance(node, (list, tuple)) or len(node) != dims[level]:
+                raise ValueError("ragged nesting is not a rectangular array")
+            for child in node:
+                walk(child, level + 1)
+
+        walk(nested, 0)
+        return cls(dims, flat)
+
+    @classmethod
+    def tabulate(cls, dims: Sequence[int], fn: Any) -> "Array":
+        """Materialize ``[[fn(i_1,...,i_k) | i_1 < n_1, ..., i_k < n_k]]``.
+
+        This is the semantics of the paper's tabulation construct: the
+        defining function is applied at every index of the rectangular
+        domain, in row-major order.
+        """
+        dims_t = tuple(int(d) for d in dims)
+        values = [fn(*index) for index in iter_indices(dims_t)]
+        return cls(dims_t, values)
+
+    # -- the three observations of Section 2 -------------------------------
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """The k-tuple of dimension lengths (the ``dim_k`` construct)."""
+        return self._dims
+
+    @property
+    def rank(self) -> int:
+        """The number of dimensions ``k``."""
+        return len(self._dims)
+
+    def __len__(self) -> int:
+        """The length of the first dimension (``len`` = ``dim_1`` for 1-d)."""
+        return self._dims[0]
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return len(self._flat)
+
+    def __getitem__(self, index: Any) -> Any:
+        """Subscript, the ``e1[e2]`` construct.
+
+        ``index`` is an int (1-d) or a tuple of ints (k-d).  Out-of-bounds
+        or wrong-arity subscripts are *undefined*: they raise
+        :class:`~repro.errors.BottomError`, the ⊥ of the calculus.
+        Negative indices are out of bounds (the domain is ``0..n_j-1``).
+        """
+        if isinstance(index, int):
+            index = (index,)
+        index = tuple(index)
+        if len(index) != self.rank:
+            raise BottomError(
+                f"subscript arity {len(index)} into rank-{self.rank} array"
+            )
+        offset = 0
+        for position, dim, stride in zip(index, self._dims, self._strides):
+            if not isinstance(position, int) or isinstance(position, bool):
+                raise BottomError(f"non-natural index {position!r}")
+            if position < 0 or position >= dim:
+                raise BottomError(
+                    f"index {index} out of bounds for dims {self._dims}"
+                )
+            offset += position * stride
+        return self._flat[offset]
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def flat(self) -> tuple[Any, ...]:
+        """The row-major value tuple."""
+        return self._flat
+
+    def indices(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over the rectangular domain in row-major order."""
+        return iter_indices(self._dims)
+
+    def graph(self) -> frozenset:
+        """The graph of the array-as-function: ``{(index, value)}``.
+
+        For 1-d arrays the key is a bare natural; for k-d arrays it is a
+        k-tuple, matching the paper's ``graph_k : [[t]]_k -> {N^k × t}``.
+        """
+        if self.rank == 1:
+            return frozenset((i, v) for i, v in enumerate(self._flat))
+        return frozenset(zip(self.indices(), self._flat))
+
+    def to_nested(self) -> Any:
+        """Convert back to nested Python lists (row-major)."""
+
+        def build(axis: int, offset: int) -> Any:
+            if axis == self.rank:
+                return self._flat[offset]
+            stride = self._strides[axis]
+            return [
+                build(axis + 1, offset + i * stride)
+                for i in range(self._dims[axis])
+            ]
+
+        return build(0, 0)
+
+    def map(self, fn: Any) -> "Array":
+        """Pointwise map preserving dims (the derived ``map`` of Section 2)."""
+        return Array(self._dims, [fn(v) for v in self._flat])
+
+    def reshape(self, dims: Sequence[int]) -> "Array":
+        """Reinterpret the row-major values under new dims of equal size."""
+        return Array(dims, self._flat)
+
+    # -- value protocol ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Array):
+            return NotImplemented
+        return self._dims == other._dims and self._flat == other._flat
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._dims, self._flat))
+        return self._hash
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over values in row-major order."""
+        return iter(self._flat)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(repr(v) for v in self._flat[:8])
+        if len(self._flat) > 8:
+            shown += ", ..."
+        return f"Array(dims={self._dims}, [{shown}])"
+
+
+def iter_indices(dims: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Yield every index tuple of the rectangular domain, row-major."""
+    k = len(dims)
+    if any(d == 0 for d in dims):
+        return
+    index = [0] * k
+    while True:
+        yield tuple(index)
+        axis = k - 1
+        while axis >= 0:
+            index[axis] += 1
+            if index[axis] < dims[axis]:
+                break
+            index[axis] = 0
+            axis -= 1
+        if axis < 0:
+            return

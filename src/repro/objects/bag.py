@@ -1,0 +1,94 @@
+"""Immutable bags (multisets) for the NBC calculus of Section 6.
+
+The paper's Theorem 6.2 characterizes NRCA's expressive power via both a
+set calculus with ranking (NRC_r) and a *bag* calculus with ranking
+(NBC_r).  :class:`Bag` is the value carrier for the bag-based complex
+objects: an immutable multiset with additive union ``⊎`` ("it adds up
+multiplicities").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Tuple
+
+
+class Bag:
+    """An immutable multiset over hashable complex-object values."""
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Iterable[Any] = ()):
+        counts: Dict[Any, int] = {}
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+        self._counts = counts
+        self._hash: int | None = None
+
+    @classmethod
+    def from_counts(cls, counts: Dict[Any, int]) -> "Bag":
+        """Build a bag from a ``value -> multiplicity`` mapping."""
+        bag = cls()
+        for value, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative multiplicity for {value!r}")
+            if count > 0:
+                bag._counts[value] = count
+        return bag
+
+    # -- the NBC operations --------------------------------------------------
+
+    def union(self, other: "Bag") -> "Bag":
+        """Additive union ``⊎``: multiplicities add up."""
+        merged = dict(self._counts)
+        for value, count in other._counts.items():
+            merged[value] = merged.get(value, 0) + count
+        return Bag.from_counts(merged)
+
+    def count(self, value: Any) -> int:
+        """Multiplicity of ``value`` in the bag (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def map_bag(self, fn: Any) -> "Bag":
+        """Pointwise image preserving multiplicities."""
+        return Bag(fn(v) for v in self)
+
+    # -- views ----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """Iterate over ``(value, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def support(self) -> frozenset:
+        """The underlying set of distinct values."""
+        return frozenset(self._counts)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate with multiplicity (each value repeated ``count`` times)."""
+        for value, count in self._counts.items():
+            for _ in range(count):
+                yield value
+
+    def __len__(self) -> int:
+        """Total number of elements, counting multiplicity."""
+        return sum(self._counts.values())
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{value!r}*{count}" for value, count in sorted(
+                self._counts.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return f"Bag({{|{inner}|}})"

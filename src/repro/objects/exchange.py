@@ -1,0 +1,304 @@
+"""The complex-object data exchange format of Section 3.
+
+The paper defines a literal grammar for complex objects and uses it as a
+*data exchange format*: "Any driver which produces a stream of bytes in
+this format can quickly be plugged into our system by registering it as a
+new reader."  This module is the codec for that format.
+
+Grammar (extended with reals, strings and — for Section 6 — bags)::
+
+    co ::= true | false
+         | nat                        e.g. 42
+         | real                       e.g. 67.3, 1e-9
+         | string                     e.g. "NYC"
+         | ( co , ... , co )          k-tuples, k >= 2
+         | { co , ... , co }          sets
+         | {| co , ... , co |}        bags
+         | [[ co , ... , co ]]        1-d array literal
+         | [[ n1 , ... , nk ; co , ... ]]   k-d array, row-major values
+
+:func:`dumps` always emits the canonical (dims-prefixed) array form and
+prints sets in the canonical ``<_t`` order, so output is deterministic and
+``loads(dumps(v)) == v`` for every value.
+
+:func:`pretty` produces the *display* form the paper's read-eval-print
+loop shows, e.g. ``[[(0,0,0):67.3, (1,0,0):67.3, ...]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.errors import ExchangeFormatError
+from repro.objects.array import Array
+from repro.objects.bag import Bag
+from repro.objects.ordering import sort_values
+from repro.objects.values import value_kind
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+def dumps(value: Any) -> str:
+    """Serialize a complex object to canonical exchange format."""
+    pieces: List[str] = []
+    _write(value, pieces)
+    return "".join(pieces)
+
+
+def _write(value: Any, out: List[str]) -> None:
+    kind = value_kind(value)
+    if kind == "bool":
+        out.append("true" if value else "false")
+    elif kind == "nat":
+        if value < 0:
+            raise ExchangeFormatError(f"negative natural {value}")
+        out.append(str(value))
+    elif kind == "real":
+        out.append(_format_real(value))
+    elif kind == "string":
+        out.append('"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"')
+    elif kind == "tuple":
+        out.append("(")
+        for position, item in enumerate(value):
+            if position:
+                out.append(", ")
+            _write(item, out)
+        out.append(")")
+    elif kind == "set":
+        out.append("{")
+        for position, item in enumerate(sort_values(value)):
+            if position:
+                out.append(", ")
+            _write(item, out)
+        out.append("}")
+    elif kind == "bag":
+        out.append("{|")
+        ordered: List[Any] = []
+        for item in sort_values(value.support()):
+            ordered.extend([item] * value.count(item))
+        for position, item in enumerate(ordered):
+            if position:
+                out.append(", ")
+            _write(item, out)
+        out.append("|}")
+    elif kind == "array":
+        out.append("[[")
+        out.append(", ".join(str(d) for d in value.dims))
+        out.append("; ")
+        for position, item in enumerate(value.flat):
+            if position:
+                out.append(", ")
+            _write(item, out)
+        out.append("]]")
+    else:  # pragma: no cover - value_kind is exhaustive
+        raise AssertionError(kind)
+
+
+def _format_real(value: float) -> str:
+    text = repr(float(value))
+    # guarantee the token re-lexes as a real, not a nat
+    if "e" not in text and "E" not in text and "." not in text \
+            and "inf" not in text and "nan" not in text:
+        text += ".0"
+    return text
+
+
+def pretty(value: Any, limit: int = 12) -> str:
+    """The display form of the paper's REPL (sparse ``(index):value`` pairs).
+
+    ``limit`` bounds how many array entries / set members are shown before
+    an ellipsis; pass ``limit=0`` for no truncation.
+    """
+    kind = value_kind(value)
+    if kind == "array":
+        entries = []
+        for position, (index, item) in enumerate(
+            zip(value.indices(), value.flat)
+        ):
+            if limit and position >= limit:
+                entries.append("...")
+                break
+            key = str(index[0]) if value.rank == 1 else ",".join(
+                str(i) for i in index
+            )
+            entries.append(f"({key}):{pretty(item, limit)}")
+        return "[[" + ", ".join(entries) + "]]"
+    if kind == "set":
+        members = sort_values(value)
+        shown = [pretty(v, limit) for v in members[:limit or None]]
+        if limit and len(members) > limit:
+            shown.append("...")
+        return "{" + ", ".join(shown) + "}"
+    if kind == "tuple":
+        return "(" + ", ".join(pretty(v, limit) for v in value) + ")"
+    return dumps(value)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+class _Scanner:
+    """A tiny recursive-descent scanner over the exchange grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ExchangeFormatError:
+        return ExchangeFormatError(f"at offset {self.pos}: {message}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def eat(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.eat(token):
+            raise self.error(f"expected {token!r}")
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+
+def loads(text: str) -> Any:
+    """Parse one complex object from exchange format text."""
+    scanner = _Scanner(text)
+    value = _parse(scanner)
+    if not scanner.at_end():
+        raise scanner.error("trailing input after complex object")
+    return value
+
+
+def _parse(s: _Scanner) -> Any:
+    s.skip_ws()
+    if s.at_end():
+        raise s.error("unexpected end of input")
+    if s.eat("true"):
+        return True
+    if s.eat("false"):
+        return False
+    ch = s.text[s.pos]
+    if ch == '"':
+        return _parse_string(s)
+    if ch.isdigit() or (ch == "-" and s.pos + 1 < len(s.text)
+                        and s.text[s.pos + 1].isdigit()):
+        return _parse_number(s)
+    if s.eat("[["):
+        return _parse_array(s)
+    if s.eat("{|"):
+        items = _parse_items(s, "|}")
+        return Bag(items)
+    if s.eat("{"):
+        items = _parse_items(s, "}")
+        return frozenset(items)
+    if s.eat("("):
+        items = _parse_items(s, ")")
+        if len(items) < 2:
+            raise s.error("tuples have arity >= 2")
+        return tuple(items)
+    raise s.error(f"unexpected character {ch!r}")
+
+
+def _parse_items(s: _Scanner, closer: str) -> List[Any]:
+    items: List[Any] = []
+    if s.eat(closer):
+        return items
+    while True:
+        items.append(_parse(s))
+        if s.eat(closer):
+            return items
+        s.expect(",")
+
+
+def _parse_array(s: _Scanner) -> Array:
+    items: List[Any] = []
+    dims: List[int] | None = None
+    if s.eat("]]"):
+        return Array((0,), [])
+    while True:
+        items.append(_parse(s))
+        s.skip_ws()
+        if s.eat(";"):
+            if dims is not None:
+                raise s.error("multiple ';' in array literal")
+            for item in items:
+                if not isinstance(item, int) or isinstance(item, bool) or item < 0:
+                    raise s.error("array dims must be naturals")
+            dims = [int(v) for v in items]
+            items = []
+            if s.eat("]]"):
+                break
+            continue
+        if s.eat("]]"):
+            break
+        s.expect(",")
+    if dims is None:
+        return Array((len(items),), items)
+    try:
+        return Array(dims, items)
+    except ValueError as exc:
+        raise s.error(str(exc)) from exc
+
+
+def _parse_string(s: _Scanner) -> str:
+    assert s.text[s.pos] == '"'
+    s.pos += 1
+    chars: List[str] = []
+    while s.pos < len(s.text):
+        ch = s.text[s.pos]
+        if ch == "\\":
+            if s.pos + 1 >= len(s.text):
+                raise s.error("dangling escape")
+            chars.append(s.text[s.pos + 1])
+            s.pos += 2
+            continue
+        if ch == '"':
+            s.pos += 1
+            return "".join(chars)
+        chars.append(ch)
+        s.pos += 1
+    raise s.error("unterminated string")
+
+
+def _parse_number(s: _Scanner) -> Any:
+    start = s.pos
+    if s.text[s.pos] == "-":
+        s.pos += 1
+    while s.pos < len(s.text) and s.text[s.pos].isdigit():
+        s.pos += 1
+    is_real = False
+    if s.pos < len(s.text) and s.text[s.pos] == ".":
+        is_real = True
+        s.pos += 1
+        while s.pos < len(s.text) and s.text[s.pos].isdigit():
+            s.pos += 1
+    if s.pos < len(s.text) and s.text[s.pos] in "eE":
+        is_real = True
+        s.pos += 1
+        if s.pos < len(s.text) and s.text[s.pos] in "+-":
+            s.pos += 1
+        while s.pos < len(s.text) and s.text[s.pos].isdigit():
+            s.pos += 1
+    token = s.text[start:s.pos]
+    if is_real:
+        return float(token)
+    value = int(token)
+    if value < 0:
+        raise s.error("naturals are non-negative")
+    return value
+
+
+__all__ = ["dumps", "loads", "pretty"]

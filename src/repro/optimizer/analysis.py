@@ -1,0 +1,128 @@
+"""Static analyses supporting the optimizer rules.
+
+The central one is :func:`is_error_free`: the δ^p rule
+(``len([[e1 | i < e2]]) ⇝ e2``) "is sound only if e1 is error-free"
+(Section 5), and Proposition 5.1 shows bounds checking — hence exact
+error-freeness — is undecidable.  So this is a *conservative, syntactic*
+approximation: ``True`` means the expression provably cannot evaluate
+to ⊥; ``False`` means we don't know.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+
+
+def is_error_free(expr: ast.Expr) -> bool:
+    """Conservatively decide that ``expr`` can never raise ⊥.
+
+    Sources of ⊥ that make us answer ``False``:
+
+    * the explicit ``Bottom`` construct;
+    * array subscripting (may be out of bounds);
+    * ``get`` (may be applied to a non-singleton);
+    * ``/`` and ``%`` with a non-literal or zero denominator;
+    * ``MkArray`` whose dimension expressions are not literals matching
+      the number of items;
+    * applications (the function may embed any of the above — we do not
+      do interprocedural analysis);
+    * primitives (external code may fail).
+    """
+    if isinstance(expr, ast.Bottom):
+        return False
+    if isinstance(expr, (ast.Subscript, ast.Get, ast.Prim, ast.App)):
+        return False
+    if isinstance(expr, ast.Arith) and expr.op in ("/", "%"):
+        denominator = expr.right
+        if not (isinstance(denominator, ast.NatLit) and denominator.value > 0):
+            return False
+        return is_error_free(expr.left)
+    if isinstance(expr, ast.MkArray):
+        expected = 1
+        for dim in expr.dims:
+            if not isinstance(dim, ast.NatLit):
+                return False
+            expected *= dim.value
+        if expected != len(expr.items):
+            return False
+        return all(is_error_free(item) for item in expr.items)
+    if isinstance(expr, ast.Lam):
+        # a lambda *value* is fine; errors only fire on application,
+        # and applications are already conservative
+        return True
+    return all(is_error_free(child) for child in expr.children())
+
+
+def is_duplication_safe(expr: ast.Expr, budget: int = 12) -> bool:
+    """Heuristic: is ``expr`` cheap enough to duplicate during rewriting?
+
+    Used by rules that would substitute an argument into several
+    occurrences of a variable (β): literals, variables and small
+    arithmetic are fine; loops and tabulations are not.
+    """
+    if budget <= 0:
+        return False
+    if isinstance(expr, (ast.Ext, ast.Sum, ast.Tabulate, ast.IndexSet,
+                         ast.BagExt, ast.ExtRank, ast.BagExtRank)):
+        return False
+    remaining = budget - 1
+    for child in expr.children():
+        if not is_duplication_safe(child, remaining):
+            return False
+        remaining -= 1
+    return True
+
+
+#: constructs whose body is evaluated once per element of the source
+_LOOP_NODES = (ast.Ext, ast.Sum, ast.BagExt, ast.ExtRank, ast.BagExtRank)
+
+
+def effective_occurrences(expr: ast.Expr, name: str) -> int:
+    """Occurrences of ``name`` weighted by loop repetition.
+
+    A free occurrence inside a loop or tabulation body counts double
+    (i.e., "many"): substituting an expensive argument there would
+    re-evaluate it per iteration even if it occurs only once textually.
+    Used by the duplication guards on β and the singleton-source rules.
+    """
+    if isinstance(expr, ast.Var):
+        return 1 if expr.name == name else 0
+    if isinstance(expr, _LOOP_NODES):
+        if name == expr.var or (hasattr(expr, "idx")
+                                and name == expr.idx):
+            return effective_occurrences(expr.source, name)
+        return (effective_occurrences(expr.source, name)
+                + 2 * effective_occurrences(expr.body, name))
+    if isinstance(expr, ast.Tabulate):
+        total = sum(effective_occurrences(b, name) for b in expr.bounds)
+        if name not in expr.vars:
+            total += 2 * effective_occurrences(expr.body, name)
+        return total
+    total = 0
+    for child, bound in expr.parts():
+        if name not in bound:
+            total += effective_occurrences(child, name)
+    return total
+
+
+def strip_bounds_checks(expr: ast.Expr) -> ast.Expr:
+    """Erase residual bounds guards: ``if c then e else ⊥ ⇝ e``.
+
+    Section 5 states that ``zip ∘ (subseq, subseq)`` and ``subseq ∘ zip``
+    "get reduced to the same query, *up to extra constant-time bound
+    checks*".  This helper realizes the "up to": after stripping guards
+    whose else-branch is ⊥, the normal forms become α-equivalent.  It is
+    an analysis/testing device, not an optimization rule — removing a
+    live check changes the error behaviour.
+    """
+
+    def erase(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.If) and isinstance(node.orelse, ast.Bottom):
+            return node.then
+        return node
+
+    return ast.transform_bottom_up(expr, erase)
+
+
+__all__ = ["is_error_free", "is_duplication_safe",
+           "effective_occurrences", "strip_bounds_checks"]

@@ -1,0 +1,47 @@
+"""A simple cost model for optimized plans.
+
+The paper's optimizer phases are rule-driven rather than cost-driven, but
+its architecture registers "rules/cost functions" into the environment
+(Section 4.1).  This module provides the default cost function: a
+heuristic unit-cost estimate where every loop construct multiplies the
+cost of its body by an assumed cardinality.  Useful for comparing plans
+in tests and for user-registered cost-based phases.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+
+#: assumed cardinality of sets/arrays whose size is unknown statically
+ASSUMED_CARDINALITY = 16
+
+
+def estimate_cost(expr: ast.Expr, assumed: int = ASSUMED_CARDINALITY) -> int:
+    """A unit-cost estimate of evaluating ``expr`` once.
+
+    Loop bodies are charged ``assumed`` times (or the literal bound, when
+    the bound is a constant).  This deliberately over-counts tabulations,
+    which is exactly the β^p/η^p intuition: materialization is expensive.
+    """
+    if isinstance(expr, (ast.Ext, ast.Sum, ast.BagExt,
+                         ast.ExtRank, ast.BagExtRank)):
+        return (1 + estimate_cost(expr.source, assumed)
+                + assumed * estimate_cost(expr.body, assumed))
+    if isinstance(expr, ast.Tabulate):
+        iterations = 1
+        bounds_cost = 0
+        for bound in expr.bounds:
+            bounds_cost += estimate_cost(bound, assumed)
+            if isinstance(bound, ast.NatLit):
+                iterations *= max(bound.value, 1)
+            else:
+                iterations *= assumed
+        return 1 + bounds_cost + iterations * estimate_cost(expr.body, assumed)
+    if isinstance(expr, ast.IndexSet):
+        return 1 + assumed + estimate_cost(expr.expr, assumed)
+    if isinstance(expr, ast.Gen):
+        return 1 + assumed + estimate_cost(expr.expr, assumed)
+    return 1 + sum(estimate_cost(child, assumed) for child in expr.children())
+
+
+__all__ = ["estimate_cost", "ASSUMED_CARDINALITY"]

@@ -1,0 +1,249 @@
+"""The rewrite engine: rules, rule bases, phases, strategies.
+
+Section 5: "The AQL optimizer proceeds in a number of phases.  The rule
+bases, the rule application strategies, and the number of phases of this
+optimizer are extensible."  Accordingly:
+
+* a :class:`Rule` is a named partial function ``Expr -> Expr | None``;
+* a :class:`RuleBase` is an ordered, mutable collection of rules;
+* a :class:`Phase` pairs a rule base with a strategy (``"exhaustive"``
+  bottom-up fixpoint, or ``"once"`` single bottom-up pass);
+* an :class:`Optimizer` runs its phases in order and supports dynamic
+  rule/phase registration (the openness of Section 4.1).
+
+The engine guards against non-terminating or exploding rule sets with an
+iteration cap and a node-count ceiling; hitting either aborts the phase
+and returns the best expression so far (never an error — optimization
+must be transparent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import ast
+from repro.errors import RegistrationError
+
+RewriteFn = Callable[[ast.Expr], Optional[ast.Expr]]
+
+
+@dataclass
+class Rule:
+    """A named rewrite rule.
+
+    ``fn`` returns the rewritten node, or ``None`` when the rule does not
+    apply.  Rules must be *local*: they look only at the node they are
+    given (which may be an arbitrarily large subtree).
+    """
+
+    name: str
+    fn: RewriteFn
+    description: str = ""
+
+    def apply(self, expr: ast.Expr) -> Optional[ast.Expr]:
+        """Apply the rule at ``expr``; None when it does not match."""
+        return self.fn(expr)
+
+
+class RuleBase:
+    """An ordered, mutable collection of rules."""
+
+    def __init__(self, rules: Optional[List[Rule]] = None):
+        self._rules: List[Rule] = list(rules or [])
+        self._names = {rule.name for rule in self._rules}
+
+    def add(self, rule: Rule) -> None:
+        """Register a rule (Section 4.1's dynamic rule injection)."""
+        if rule.name in self._names:
+            raise RegistrationError(f"rule {rule.name!r} already registered")
+        self._rules.append(rule)
+        self._names.add(rule.name)
+
+    def remove(self, name: str) -> None:
+        """Unregister a rule by name (used by the ablation benchmarks)."""
+        if name not in self._names:
+            raise RegistrationError(f"no rule named {name!r}")
+        self._rules = [r for r in self._rules if r.name != name]
+        self._names.discard(name)
+
+    def names(self) -> List[str]:
+        """The registered rule names, in application order."""
+        return [rule.name for rule in self._rules]
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+@dataclass
+class PhaseStats:
+    """Counters reported per optimization phase."""
+
+    passes: int = 0
+    applications: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+
+class Phase:
+    """One optimizer phase: a rule base plus an application strategy."""
+
+    #: hard cap on full bottom-up passes within one phase
+    MAX_PASSES = 64
+    #: expression-size ceiling; beyond it the phase stops rewriting
+    MAX_NODES = 500_000
+    #: cap on consecutive rule firings at a single node position
+    MAX_LOCAL = 64
+
+    def __init__(self, name: str, rules: Optional[RuleBase] = None,
+                 strategy: str = "exhaustive"):
+        if strategy not in ("exhaustive", "once"):
+            raise RegistrationError(f"unknown strategy {strategy!r}")
+        self.name = name
+        self.rules = rules if rules is not None else RuleBase()
+        self.strategy = strategy
+        self.stats = PhaseStats()
+
+    def run(self, expr: ast.Expr) -> ast.Expr:
+        """Apply this phase's rules to ``expr`` under its strategy."""
+        self.stats = PhaseStats()
+        if not len(self.rules):
+            return expr
+        passes = 1 if self.strategy == "once" else self.MAX_PASSES
+        for _ in range(passes):
+            expr, changed = self._bottom_up_pass(expr)
+            self.stats.passes += 1
+            if not changed:
+                break
+            if ast.node_count(expr) > self.MAX_NODES:
+                break
+        return expr
+
+    def _bottom_up_pass(self, expr: ast.Expr) -> Tuple[ast.Expr, bool]:
+        changed = False
+        new_children = []
+        dirty = False
+        for child, _ in expr.parts():
+            new_child, child_changed = self._bottom_up_pass(child)
+            new_children.append(new_child)
+            dirty = dirty or child_changed
+        if dirty:
+            expr = expr.with_parts(new_children)
+            changed = True
+        for _ in range(self.MAX_LOCAL):
+            rewritten = self._apply_first(expr)
+            if rewritten is None:
+                break
+            expr = rewritten
+            changed = True
+        return expr, changed
+
+    def _apply_first(self, expr: ast.Expr) -> Optional[ast.Expr]:
+        for rule in self.rules:
+            result = rule.apply(expr)
+            if result is not None and result != expr:
+                self.stats.applications += 1
+                self.stats.by_rule[rule.name] = (
+                    self.stats.by_rule.get(rule.name, 0) + 1
+                )
+                return result
+        return None
+
+
+class Optimizer:
+    """Drives a pipeline of phases over core expressions."""
+
+    def __init__(self, phases: Optional[List[Phase]] = None):
+        self.phases: List[Phase] = list(phases or [])
+
+    def phase(self, name: str) -> Phase:
+        """Look up a phase by name (for rule registration/ablation)."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise RegistrationError(f"no phase named {name!r}")
+
+    def add_phase(self, phase: Phase,
+                  before: Optional[str] = None) -> None:
+        """Insert a phase, optionally before an existing one."""
+        if before is None:
+            self.phases.append(phase)
+            return
+        for position, existing in enumerate(self.phases):
+            if existing.name == before:
+                self.phases.insert(position, phase)
+                return
+        raise RegistrationError(f"no phase named {before!r}")
+
+    def register_rule(self, phase_name: str, rule: Rule) -> None:
+        """Dynamically inject an optimization rule (Section 4.1)."""
+        self.phase(phase_name).rules.add(rule)
+
+    def optimize(self, expr: ast.Expr) -> ast.Expr:
+        """Run every phase in order."""
+        for phase in self.phases:
+            expr = phase.run(expr)
+        return expr
+
+    def report(self) -> Dict[str, PhaseStats]:
+        """Per-phase statistics from the most recent :meth:`optimize`."""
+        return {phase.name: phase.stats for phase in self.phases}
+
+
+def default_optimizer(assume_error_free: bool = True) -> Optimizer:
+    """The stock pipeline: normalize → bounds → cleanup → code motion.
+
+    Mirrors Section 5: "We have implemented normalization and constraint
+    elimination as the first two phases of our optimizer."  The final
+    cleanup pass re-runs normalization to collapse the conditionals that
+    bounds elimination turned into constants.
+
+    ``assume_error_free`` controls the guard on δ^p and its relatives.
+    The paper's derivations apply these rules under the assumption that
+    "no bounds errors were present in the original code" (Section 5), so
+    that is the default; pass ``False`` for the strictly-sound pipeline
+    that preserves ⊥-behaviour exactly.
+    """
+    from repro.optimizer.rules_arith import arith_rules
+    from repro.optimizer.rules_arrays import array_rules
+    from repro.optimizer.rules_bounds import bounds_rules
+    from repro.optimizer.rules_motion import motion_rules
+    from repro.optimizer.rules_nrc import nrc_rules
+
+    def normalization_rules() -> RuleBase:
+        base = RuleBase()
+        for rule in nrc_rules(assume_error_free):
+            base.add(rule)
+        for rule in array_rules(assume_error_free):
+            base.add(rule)
+        for rule in arith_rules(assume_error_free):
+            base.add(rule)
+        return base
+
+    bounds = RuleBase()
+    for rule in bounds_rules():
+        bounds.add(rule)
+    # bounds elimination produces `if true/...` residue; fold it eagerly
+    for rule in nrc_rules(assume_error_free):
+        bounds.add(rule)
+
+    motion = RuleBase()
+    for rule in motion_rules():
+        motion.add(rule)
+
+    # code motion runs LAST: the hoisted β-redexes it builds must not be
+    # re-inlined by a later normalization pass
+    return Optimizer([
+        Phase("normalize", normalization_rules()),
+        Phase("bounds", bounds),
+        Phase("cleanup", normalization_rules()),
+        Phase("motion", motion),
+    ])
+
+
+__all__ = [
+    "Rule", "RuleBase", "Phase", "PhaseStats", "Optimizer",
+    "default_optimizer",
+]

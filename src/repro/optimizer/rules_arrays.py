@@ -1,0 +1,206 @@
+"""The three array rules of Section 5: β^p, η^p, δ^p.
+
+"Since the syntax for arrays was inspired by viewing them as functions,
+it is not surprising that the rules for arrays are also based on this
+view of arrays as (partial) functions":
+
+* β^p — partial β:
+  ``[[e1 | i < e2]][e3] ⇝ if e3 < e2 then e1{i := e3} else ⊥``
+  (saves materializing the tabulated array);
+* η^p — partial η:
+  ``[[e[i] | i < len(e)]] ⇝ e``
+  (saves re-tabulating an existing array);
+* δ^p — domain extraction:
+  ``len([[e1 | i < e2]]) ⇝ e2``
+  (sound only if ``e1`` is error-free).
+
+All three generalize to k dimensions, plus the analogous folds for the
+efficient ``MkArray`` literal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import ast
+from repro.optimizer.analysis import is_error_free
+from repro.optimizer.engine import Rule
+
+
+def _beta_p(expr: ast.Expr) -> Optional[ast.Expr]:
+    """β^p, k-dimensional: subscripting a tabulation becomes bound checks
+    around the substituted body."""
+    if not (isinstance(expr, ast.Subscript)
+            and isinstance(expr.array, ast.Tabulate)):
+        return None
+    tab = expr.array
+    if len(expr.indices) != tab.rank:
+        return None
+    mapping = dict(zip(tab.vars, expr.indices))
+    result: ast.Expr = ast.substitute(tab.body, mapping)
+    # innermost check is for the last dimension, matching the paper's
+    # left-to-right check order after nesting
+    for index, bound in zip(reversed(expr.indices), reversed(tab.bounds)):
+        result = ast.If(ast.Cmp("<", index, bound), result, ast.Bottom())
+    return result
+
+
+def _eta_p(expr: ast.Expr) -> Optional[ast.Expr]:
+    """η^p, k-dimensional: a tabulation that reproduces an array is that
+    array.
+
+    Matches ``[[ A[i1,...,ik] | i1 < dim_1 A, ..., ik < dim_k A ]] ⇝ A``
+    where A does not mention the index variables.
+    """
+    if not (isinstance(expr, ast.Tabulate)
+            and isinstance(expr.body, ast.Subscript)):
+        return None
+    array = expr.body.array
+    rank = expr.rank
+    indices = expr.body.indices
+    if len(indices) != rank:
+        return None
+    for position, index in enumerate(indices):
+        if not (isinstance(index, ast.Var)
+                and index.name == expr.vars[position]):
+            return None
+    array_fvs = ast.free_vars(array)
+    if any(var in array_fvs for var in expr.vars):
+        return None
+    for axis, bound in enumerate(expr.bounds, start=1):
+        if rank == 1:
+            expected: ast.Expr = ast.Dim(array, 1)
+        else:
+            expected = ast.Proj(axis, rank, ast.Dim(array, rank))
+        if bound != expected:
+            return None
+    return array
+
+
+def make_delta_p(assume_error_free: bool):
+    """δ^p, k-dimensional: the dims of a tabulation are its bounds.
+
+    Sound only if the tabulation body is error-free (Section 5) —
+    otherwise the tabulation itself would have raised ⊥.  When
+    ``assume_error_free`` the guard is waived, which is how the paper's
+    own derivations apply the rule ("the constraint checks introduced by
+    the β^p rule will be redundant as long as no bounds errors were
+    present in the original code").
+    """
+
+    def _delta_p(expr: ast.Expr) -> Optional[ast.Expr]:
+        if not (isinstance(expr, ast.Dim)
+                and isinstance(expr.expr, ast.Tabulate)):
+            return None
+        tab = expr.expr
+        if expr.rank != tab.rank:
+            return None
+        if not assume_error_free and not is_error_free(tab.body):
+            return None
+        if tab.rank == 1:
+            return tab.bounds[0]
+        return ast.TupleE(tab.bounds)
+
+    return _delta_p
+
+
+def _dim_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
+    """``dim`` of a literal array with constant, consistent dims folds."""
+    if not (isinstance(expr, ast.Dim)
+            and isinstance(expr.expr, ast.MkArray)):
+        return None
+    literal = expr.expr
+    if expr.rank != literal.rank:
+        return None
+    expected = 1
+    for dim in literal.dims:
+        if not isinstance(dim, ast.NatLit):
+            return None
+        expected *= dim.value
+    if expected != len(literal.items):
+        return None  # the literal is ⊥; leave it for evaluation to report
+    if expr.rank == 1:
+        return literal.dims[0]
+    return ast.TupleE(literal.dims)
+
+
+def _subscript_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Constant subscript into a constant-dims literal folds to the item."""
+    if not (isinstance(expr, ast.Subscript)
+            and isinstance(expr.array, ast.MkArray)):
+        return None
+    literal = expr.array
+    if len(expr.indices) != literal.rank:
+        return None
+    dims: List[int] = []
+    for dim in literal.dims:
+        if not isinstance(dim, ast.NatLit):
+            return None
+        dims.append(dim.value)
+    expected = 1
+    for d in dims:
+        expected *= d
+    if expected != len(literal.items):
+        return None
+    offsets: List[int] = []
+    for index in expr.indices:
+        if not isinstance(index, ast.NatLit):
+            return None
+        offsets.append(index.value)
+    if any(o >= d for o, d in zip(offsets, dims)):
+        return ast.Bottom()
+    flat = 0
+    for offset, dim in zip(offsets, dims):
+        flat = flat * dim + offset
+    return literal.items[flat]
+
+
+def _subscript_if_array(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Push subscripting into a conditional array:
+    ``(if c then A else B)[i] ⇝ if c then A[i] else B[i]``.
+
+    Lets β^p reach tabulations guarded by conformance checks (e.g. the
+    matrix ``multiply`` of Section 2).
+    """
+    if not (isinstance(expr, ast.Subscript)
+            and isinstance(expr.array, ast.If)):
+        return None
+    cond = expr.array
+    return ast.If(
+        cond.cond,
+        ast.Subscript(cond.then, expr.indices),
+        ast.Subscript(cond.orelse, expr.indices),
+    )
+
+
+def _dim_if_array(expr: ast.Expr) -> Optional[ast.Expr]:
+    """``dim(if c then A else B) ⇝ if c then dim A else dim B`` — the
+    dim companion of ``subscript-if``."""
+    if not (isinstance(expr, ast.Dim) and isinstance(expr.expr, ast.If)):
+        return None
+    cond = expr.expr
+    return ast.If(
+        cond.cond,
+        ast.Dim(cond.then, expr.rank),
+        ast.Dim(cond.orelse, expr.rank),
+    )
+
+
+def array_rules(assume_error_free: bool = False) -> List[Rule]:
+    """The array rule base: β^p, η^p, δ^p and literal folds."""
+    return [
+        Rule("beta-p", _beta_p,
+             "[[e1|i<e2]][e3] ⇝ if e3<e2 then e1{i:=e3} else ⊥"),
+        Rule("eta-p", _eta_p, "[[e[i]|i<len e]] ⇝ e"),
+        Rule("delta-p", make_delta_p(assume_error_free),
+             "dim([[e1|i<e2]]) ⇝ e2 (e1 error-free)"),
+        Rule("dim-mkarray", _dim_mkarray, "dim of constant literal folds"),
+        Rule("subscript-mkarray", _subscript_mkarray,
+             "constant subscript of literal folds"),
+        Rule("subscript-if", _subscript_if_array,
+             "(if c then A else B)[i] distributes"),
+        Rule("dim-if", _dim_if_array, "dim(if c then A else B) distributes"),
+    ]
+
+
+__all__ = ["array_rules"]

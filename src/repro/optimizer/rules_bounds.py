@@ -1,0 +1,164 @@
+"""Redundant bounds-check elimination (end of Section 5).
+
+β^p introduces checks ``if e3 < e2 then ... else ⊥`` which are redundant
+whenever the original program had no bounds errors.  Proposition 5.1 says
+removing *all* redundant checks is undecidable, but "many redundant
+checks can be eliminated by applying the following rules together with
+standard rules for conditionals":
+
+1. ``[[(...(i_j < e_j)...) | i1<e1, ..., ik<ek]] ⇝ [[(...true...) | ...]]``
+2. ``⋃{(...i<e...) | i ∈ gen(e)} ⇝ ⋃{(...true...) | i ∈ gen(e)}``
+   (and the same for Σ)
+3. ``if e then (...e...) else e' ⇝ if e then (...true...) else e'``
+4. ``if e then e' else (...e...) ⇝ if e then e' else (...false...)``
+
+"These rules need some extra conditions guaranteeing free variables ...
+are not captured": our replacement traversal refuses to descend past any
+binder that shadows a free variable of the fact being propagated.
+
+Beyond exact occurrences, each known fact also propagates its mirrored
+form (``i < e`` ≡ ``e > i``) and refutes its negation (``i >= e`` ⇝
+``false`` under ``i < e``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ast
+from repro.optimizer.engine import Rule
+
+#: negations of the comparison operators
+_NEGATE = {"<": ">=", ">=": "<", ">": "<=", "<=": ">", "=": "<>", "<>": "="}
+#: mirrored forms under operand swap
+_SWAP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _consequences(fact: ast.Expr, truth: bool) -> Dict[ast.Expr, ast.Expr]:
+    """All syntactic forms decided by knowing ``fact`` is ``truth``."""
+    decided: Dict[ast.Expr, ast.Expr] = {fact: ast.BoolLit(truth)}
+    if isinstance(fact, ast.Cmp):
+        swapped = ast.Cmp(_SWAP[fact.op], fact.right, fact.left)
+        negated = ast.Cmp(_NEGATE[fact.op], fact.left, fact.right)
+        negated_swapped = ast.Cmp(
+            _SWAP[_NEGATE[fact.op]], fact.right, fact.left
+        )
+        decided[swapped] = ast.BoolLit(truth)
+        decided[negated] = ast.BoolLit(not truth)
+        decided[negated_swapped] = ast.BoolLit(not truth)
+    return decided
+
+
+def _replace_known(expr: ast.Expr, decided: Dict[ast.Expr, ast.Expr],
+                   protected: frozenset) -> Tuple[ast.Expr, bool]:
+    """Replace decided subterms, stopping below shadowing binders."""
+    replacement = decided.get(expr)
+    if replacement is not None:
+        return replacement, True
+    changed = False
+    new_children: List[ast.Expr] = []
+    for child, bound in expr.parts():
+        if bound and any(name in protected for name in bound):
+            new_children.append(child)  # the fact's variables are shadowed
+            continue
+        new_child, child_changed = _replace_known(child, decided, protected)
+        new_children.append(new_child)
+        changed = changed or child_changed
+    if not changed:
+        return expr, False
+    return expr.with_parts(new_children), True
+
+
+def _propagate(body: ast.Expr, fact: ast.Expr,
+               truth: bool) -> Tuple[ast.Expr, bool]:
+    decided = _consequences(fact, truth)
+    protected = ast.free_vars(fact)
+    return _replace_known(body, decided, protected)
+
+
+def _tabulate_bound_elim(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Rule 1: within ``[[body | ..., i_j < e_j, ...]]`` the comparison
+    ``i_j < e_j`` is true."""
+    if not isinstance(expr, ast.Tabulate):
+        return None
+    body = expr.body
+    changed = False
+    for var, bound in zip(expr.vars, expr.bounds):
+        fact = ast.Cmp("<", ast.Var(var), bound)
+        body, fact_changed = _propagate(body, fact, True)
+        changed = changed or fact_changed
+    if not changed:
+        return None
+    return ast.Tabulate(expr.vars, expr.bounds, body)
+
+
+def _gen_bound_elim(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Rule 2: within ``⋃{body | i ∈ gen(e)}`` (or Σ), ``i < e`` is true."""
+    if isinstance(expr, (ast.Ext, ast.Sum)) \
+            and isinstance(expr.source, ast.Gen):
+        fact = ast.Cmp("<", ast.Var(expr.var), expr.source.expr)
+        body, changed = _propagate(expr.body, fact, True)
+        if not changed:
+            return None
+        return type(expr)(expr.var, body, expr.source)
+    return None
+
+
+def _if_branch_elim(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Rules 3 and 4: the condition is true in the then branch and false
+    in the else branch."""
+    if not isinstance(expr, ast.If):
+        return None
+    if isinstance(expr.cond, ast.BoolLit):
+        return None  # nothing to learn; the conditional rules fold these
+    then, then_changed = _propagate(expr.then, expr.cond, True)
+    orelse, else_changed = _propagate(expr.orelse, expr.cond, False)
+    if not (then_changed or else_changed):
+        return None
+    return ast.If(expr.cond, then, orelse)
+
+
+def _monus_bound_elim(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Within ``[[body | k < (j+1) ∸ i]]`` the check ``i + k < j + 1`` is
+    true — the fact β^p needs after composing ``subseq`` with another
+    operation.  More generally, ``k < b ∸ a`` implies ``a + k < b``.
+    """
+    if not isinstance(expr, ast.Tabulate):
+        return None
+    body = expr.body
+    changed = False
+    for var, bound in zip(expr.vars, expr.bounds):
+        if not (isinstance(bound, ast.Arith) and bound.op == "-"):
+            continue
+        upper, lower = bound.left, bound.right
+        fact = ast.Cmp(
+            "<", ast.Arith("+", lower, ast.Var(var)), upper
+        )
+        body, fact_changed = _propagate(body, fact, True)
+        changed = changed or fact_changed
+        # also the commuted addition k + a < b
+        fact_commuted = ast.Cmp(
+            "<", ast.Arith("+", ast.Var(var), lower), upper
+        )
+        body, fact_changed = _propagate(body, fact_commuted, True)
+        changed = changed or fact_changed
+    if not changed:
+        return None
+    return ast.Tabulate(expr.vars, expr.bounds, body)
+
+
+def bounds_rules() -> List[Rule]:
+    """The constraint-elimination rule base of Section 5."""
+    return [
+        Rule("tabulate-bound-elim", _tabulate_bound_elim,
+             "i_j < e_j is true inside its own tabulation"),
+        Rule("gen-bound-elim", _gen_bound_elim,
+             "i < e is true inside ⋃/Σ over gen(e)"),
+        Rule("if-branch-elim", _if_branch_elim,
+             "condition is true in then, false in else"),
+        Rule("monus-bound-elim", _monus_bound_elim,
+             "k < b ∸ a implies a + k < b inside the tabulation"),
+    ]
+
+
+__all__ = ["bounds_rules"]

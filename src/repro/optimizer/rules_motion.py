@@ -1,0 +1,106 @@
+"""Code motion (Section 5: "Later phases include I/O optimizations and
+code motion").
+
+Loop-invariant hoisting: an expensive subexpression inside a tabulation
+(or ⋃/Σ loop) body that does not mention the loop variables is computed
+once outside the loop::
+
+    [[ Σ{y | y ∈ S} * i | i < n ]]
+        ⇝  (λ h. [[ h * i | i < n ]])(Σ{y | y ∈ S})
+
+The evaluator shares the argument of a β-redex (and the normalization
+β-rule's duplication guard refuses to re-inline expensive arguments), so
+the hoisted value is genuinely computed once.
+
+Soundness: hoisting evaluates the candidate even when the loop would
+have run zero times, so the candidate must be *error-free* (this guard
+is never waived — unlike δ^p's, since hoisting can introduce a ⊥ that
+the original program never raised, rather than merely dropping one).
+Only *expensive* candidates (loops, tabulations, group-bys) are hoisted;
+cheap arithmetic is left for the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import ast
+from repro.optimizer.analysis import is_duplication_safe, is_error_free
+from repro.optimizer.engine import Rule
+
+#: loop constructs whose bodies are evaluated once per element
+_LOOPS = (ast.Ext, ast.Sum, ast.BagExt)
+
+
+def _is_hoistable(expr: ast.Expr, banned: frozenset) -> bool:
+    """Expensive, error-free, and independent of the loop variables."""
+    if is_duplication_safe(expr):
+        return False  # cheap: not worth a binding
+    if not is_error_free(expr):
+        return False
+    return not (ast.free_vars(expr) & banned)
+
+
+def _find_candidate(expr: ast.Expr,
+                    banned: frozenset) -> Optional[ast.Expr]:
+    """The outermost hoistable subexpression of ``expr`` (pre-order)."""
+    if isinstance(expr, ast.Var):
+        return None
+    if _is_hoistable(expr, banned):
+        return expr
+    for child, bound in expr.parts():
+        found = _find_candidate(child, banned | frozenset(bound))
+        if found is not None:
+            return found
+    return None
+
+
+def _replace_all(expr: ast.Expr, target: ast.Expr,
+                 replacement: ast.Expr,
+                 protected: frozenset) -> ast.Expr:
+    """Replace syntactic occurrences of ``target``, respecting shadowing."""
+    if expr == target:
+        return replacement
+    new_children: List[ast.Expr] = []
+    for child, bound in expr.parts():
+        if bound and any(name in protected for name in bound):
+            new_children.append(child)
+        else:
+            new_children.append(
+                _replace_all(child, target, replacement, protected)
+            )
+    return expr.with_parts(new_children)
+
+
+def _hoist_from_loop(expr: ast.Expr) -> Optional[ast.Expr]:
+    """Hoist one invariant out of a loop body."""
+    if isinstance(expr, ast.Tabulate):
+        banned = frozenset(expr.vars)
+        body = expr.body
+    elif isinstance(expr, _LOOPS):
+        banned = frozenset((expr.var,))
+        body = expr.body
+    else:
+        return None
+    candidate = _find_candidate(body, banned)
+    if candidate is None:
+        return None
+    fresh = ast.fresh_var("h")
+    protected = ast.free_vars(candidate)
+    new_body = _replace_all(body, candidate, ast.Var(fresh), protected)
+    if isinstance(expr, ast.Tabulate):
+        rebuilt: ast.Expr = ast.Tabulate(expr.vars, expr.bounds, new_body)
+    else:
+        rebuilt = type(expr)(expr.var, new_body, expr.source)
+    return ast.App(ast.Lam(fresh, rebuilt), candidate)
+
+
+def motion_rules() -> List[Rule]:
+    """The code-motion rule base (one rule; the engine iterates it)."""
+    return [
+        Rule("hoist-loop-invariant", _hoist_from_loop,
+             "compute loop-invariant expensive subexpressions once"),
+    ]
+
+
+__all__ = ["motion_rules"]

@@ -1,0 +1,20 @@
+"""The AQL surface language (Section 3) and its translation to NRCA.
+
+* :mod:`repro.surface.lexer` — tokens, including SML-style ``(* *)``
+  comments and slash-binders ``\\x``.
+* :mod:`repro.surface.sast` — surface abstract syntax: comprehensions,
+  patterns, blocks, generators, top-level statements.
+* :mod:`repro.surface.parser` — recursive-descent parser.
+* :mod:`repro.surface.desugar` — the Figure 2 translations into the core
+  calculus.
+"""
+
+from repro.surface.parser import parse_expression, parse_program
+from repro.surface.desugar import Desugarer, desugar_expression
+
+__all__ = [
+    "parse_expression",
+    "parse_program",
+    "Desugarer",
+    "desugar_expression",
+]

@@ -1,0 +1,300 @@
+"""Surface abstract syntax for AQL (Section 3).
+
+These nodes capture what the programmer wrote — comprehensions, patterns,
+blocks, generators — before the Figure 2 translations eliminate them.
+Keeping a separate surface AST lets the test suite check the translation
+tables row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+class SExpr:
+    """Base class of surface expressions."""
+
+
+class Pattern:
+    """Base class of patterns: ``P ::= (P1,...,Pk) | _ | c | x | \\x``."""
+
+
+@dataclass(frozen=True)
+class PBind(Pattern):
+    """``\\x`` — matches anything, binds it to ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PVarEq(Pattern):
+    """``x`` — matches only the value currently bound to ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PWild(Pattern):
+    """``_`` — matches anything, binds nothing."""
+
+
+@dataclass(frozen=True)
+class PConst(Pattern):
+    """A constant pattern ``c`` (nat, real, string or boolean literal)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class PTuple(Pattern):
+    """``(P1, ..., Pk)`` — matches k-tuples componentwise."""
+
+    items: Tuple[Pattern, ...]
+
+
+class GenFilter:
+    """Base class of comprehension qualifiers (generators and filters)."""
+
+
+@dataclass(frozen=True)
+class GGen(GenFilter):
+    """Set generator ``P <- e``."""
+
+    pattern: Pattern
+    source: SExpr
+
+
+@dataclass(frozen=True)
+class GArrayGen(GenFilter):
+    """Array generator ``[P_index : P_value] <- e`` (Section 3).
+
+    Sugar for ``\\i <- dom(e), \\x <- {e[i]}`` with patterns on both.
+    The rank is the arity of the index pattern (1 if it is not a tuple).
+    """
+
+    index_pattern: Pattern
+    value_pattern: Pattern
+    source: SExpr
+
+
+@dataclass(frozen=True)
+class GBind(GenFilter):
+    """Binding ``P :== e`` (also written ``P == e``): ``P <- {e}``."""
+
+    pattern: Pattern
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class GFilter(GenFilter):
+    """A boolean-valued filter expression."""
+
+    expr: SExpr
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SVar(SExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SNat(SExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class SReal(SExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class SStr(SExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class SBool(SExpr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class SBottom(SExpr):
+    """The explicit error literal ``bottom``."""
+
+
+@dataclass(frozen=True)
+class STuple(SExpr):
+    items: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SSetLit(SExpr):
+    """``{e1, ..., en}`` (n may be 0)."""
+
+    items: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SSetComp(SExpr):
+    """``{ head | GF1, ..., GFn }``."""
+
+    head: SExpr
+    qualifiers: Tuple[GenFilter, ...]
+
+
+@dataclass(frozen=True)
+class SBagLit(SExpr):
+    """``{| e1, ..., en |}`` (Section 6 bags)."""
+
+    items: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SBagComp(SExpr):
+    """``{| head | GF1, ..., GFn |}``."""
+
+    head: SExpr
+    qualifiers: Tuple[GenFilter, ...]
+
+
+@dataclass(frozen=True)
+class SArrayLit(SExpr):
+    """``[[e1, ..., en]]`` — 1-d array literal (monoid form, Section 3)."""
+
+    items: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SArrayRowMajor(SExpr):
+    """``[[n1, ..., nk; e0, ..., e_{N-1}]]`` — the efficient literal."""
+
+    dims: Tuple[SExpr, ...]
+    items: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class STabulate(SExpr):
+    """``[[ body | \\i1 < e1, ..., \\ik < ek ]]`` — array tabulation."""
+
+    binders: Tuple[Tuple[str, SExpr], ...]
+    body: SExpr
+
+
+@dataclass(frozen=True)
+class SApp(SExpr):
+    """Application ``fn ! arg``."""
+
+    fn: SExpr
+    arg: SExpr
+
+
+@dataclass(frozen=True)
+class SCall(SExpr):
+    """Parenthesized call ``fn(e1, ..., en)`` — e.g. ``summap(f)!s``."""
+
+    fn: SExpr
+    args: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SSubscript(SExpr):
+    """``e[e1, ..., ek]``."""
+
+    array: SExpr
+    indices: Tuple[SExpr, ...]
+
+
+@dataclass(frozen=True)
+class SLam(SExpr):
+    """``fn P => body`` — lambda patterns only (``(P'…)``, ``_``, ``\\x``)."""
+
+    pattern: Pattern
+    body: SExpr
+
+
+@dataclass(frozen=True)
+class SIf(SExpr):
+    cond: SExpr
+    then: SExpr
+    orelse: SExpr
+
+
+@dataclass(frozen=True)
+class SLet(SExpr):
+    """``let val P1 = e1 ... val Pn = en in body end``."""
+
+    bindings: Tuple[Tuple[Pattern, SExpr], ...]
+    body: SExpr
+
+
+@dataclass(frozen=True)
+class SBinop(SExpr):
+    """Binary operator: arithmetic, comparison, ``union``, ``bunion``,
+    ``and``, ``or``."""
+
+    op: str
+    left: SExpr
+    right: SExpr
+
+
+@dataclass(frozen=True)
+class SNot(SExpr):
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class SIn(SExpr):
+    """Membership test ``e in e'`` (the ∈ of the paper)."""
+
+    item: SExpr
+    source: SExpr
+
+
+# -- top-level statements ------------------------------------------------------
+
+class Statement:
+    """Base class for AQL top-level statements (Section 4)."""
+
+
+@dataclass(frozen=True)
+class ValDecl(Statement):
+    """``val \\x = expr;`` — bind a complex object value."""
+
+    name: str
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class MacroDecl(Statement):
+    """``macro \\name = expr;`` — register a query macro."""
+
+    name: str
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class ReadVal(Statement):
+    """``readval \\V using READER at E;``."""
+
+    name: str
+    reader: str
+    args: SExpr
+
+
+@dataclass(frozen=True)
+class WriteVal(Statement):
+    """``writeval E using WRITER at E';``."""
+
+    expr: SExpr
+    writer: str
+    args: SExpr
+
+
+@dataclass(frozen=True)
+class Query(Statement):
+    """A bare expression evaluated and printed."""
+
+    expr: SExpr

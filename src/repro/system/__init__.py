@@ -1,0 +1,14 @@
+"""The AQL read-eval-print system (Section 4).
+
+* :class:`~repro.system.session.Session` — the AQL top level: ``val`` and
+  ``macro`` declarations, ``readval``/``writeval`` commands, and query
+  evaluation through the full pipeline (parse → desugar → resolve →
+  typecheck → optimize → evaluate), echoing ``typ``/``val`` lines like
+  the paper's sample session.
+* :mod:`repro.system.repl` — the interactive loop (``python -m
+  repro.system.repl``).
+"""
+
+from repro.system.session import Output, Session
+
+__all__ = ["Session", "Output"]

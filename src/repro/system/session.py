@@ -1,0 +1,159 @@
+"""The AQL top-level session (the inner read-eval-print loop of §4).
+
+A :class:`Session` accepts AQL top-level statements and runs each through
+the query-processing pipeline of Section 4.1:
+
+    parse → desugar (Figure 2) → resolve (macro substitution, vals,
+    primitives) → typecheck (Figure 1) → optimize (Section 5) → evaluate
+
+Each statement yields an :class:`Output` that renders exactly like the
+paper's sample session::
+
+    typ it : {nat}
+    val it = {25, 27, 28}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core import ast
+from repro.env.environment import TopEnv
+from repro.errors import SessionError
+from repro.objects.exchange import pretty
+from repro.surface.desugar import Desugarer
+from repro.surface.parser import parse_program
+from repro.surface import sast as S
+from repro.types.types import Type, TypeScheme, type_of_value
+
+
+@dataclass
+class Output:
+    """The result of executing one top-level statement."""
+
+    kind: str            # 'query' | 'val' | 'macro' | 'readval' | 'writeval'
+    name: str            # bound name, or 'it' for bare queries
+    type_text: str
+    value: Any = None
+    has_value: bool = False
+
+    def render(self, limit: int = 12) -> str:
+        """The paper-style echo lines."""
+        lines = [f"typ {self.name} : {self.type_text}"]
+        if self.has_value:
+            lines.append(f"val {self.name} = {pretty(self.value, limit)}")
+        elif self.kind == "macro":
+            lines.append(f"val {self.name} = {self.name} "
+                         f"registered as macro.")
+        elif self.kind == "writeval":
+            lines.append(f"val {self.name} written.")
+        return "\n".join(lines)
+
+
+class Session:
+    """An AQL top-level session over a :class:`~repro.env.TopEnv`."""
+
+    def __init__(self, env: Optional[TopEnv] = None, optimize: bool = True,
+                 backend: str = "interpreter"):
+        self.env = env if env is not None else TopEnv.standard(backend)
+        self.optimize = optimize
+        self._desugarer = Desugarer()
+
+    # -- statement execution -----------------------------------------------------
+
+    def run(self, source: str) -> List[Output]:
+        """Execute a block of AQL statements; return their outputs."""
+        return [self.execute(statement)
+                for statement in parse_program(source)]
+
+    def run_script(self, source: str, echo: bool = False) -> List[str]:
+        """Execute and render each statement (optionally printing)."""
+        rendered = []
+        for output in self.run(source):
+            text = output.render()
+            rendered.append(text)
+            if echo:
+                print(text)
+        return rendered
+
+    def query_value(self, source: str) -> Any:
+        """Evaluate a single query expression and return its value.
+
+        A missing final ``;`` is forgiven (it is appended and the parse
+        retried), so one-off expressions read naturally.
+        """
+        from repro.errors import ParseError
+
+        try:
+            statements = parse_program(source)
+        except ParseError:
+            statements = parse_program(source + ";")
+        outputs = [self.execute(statement) for statement in statements]
+        last = outputs[-1]
+        if not last.has_value:
+            raise SessionError("statement did not produce a value")
+        return last.value
+
+    def execute(self, statement: S.Statement) -> Output:
+        """Execute one parsed top-level statement."""
+        if isinstance(statement, S.Query):
+            return self._query(statement.expr, "it")
+        if isinstance(statement, S.ValDecl):
+            output = self._query(statement.expr, statement.name)
+            self.env.set_val(statement.name, output.value)
+            return output
+        if isinstance(statement, S.MacroDecl):
+            body = self._desugarer.desugar(statement.expr)
+            sig = self.env.register_macro(statement.name, body)
+            return Output("macro", statement.name, _scheme_text(sig))
+        if isinstance(statement, S.ReadVal):
+            return self._readval(statement)
+        if isinstance(statement, S.WriteVal):
+            return self._writeval(statement)
+        raise SessionError(f"unknown statement {statement!r}")
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _compile(self, surface: S.SExpr):
+        core = self._desugarer.desugar(surface)
+        return self.env.compile(core, optimize=self.optimize)
+
+    def _query(self, surface: S.SExpr, name: str) -> Output:
+        compiled, inferred = self._compile(surface)
+        value = self.env.evaluator().run(compiled)
+        return Output("query" if name == "it" else "val", name,
+                      str(inferred), value, has_value=True)
+
+    def _readval(self, statement: S.ReadVal) -> Output:
+        reader = self.env.drivers.reader(statement.reader)
+        compiled, _ = self._compile(statement.args)
+        args_value = self.env.evaluator().run(compiled)
+        value = reader(args_value)
+        self.env.set_val(statement.name, value)
+        value_type = type_of_value(value)
+        return Output("readval", statement.name, str(value_type),
+                      value, has_value=True)
+
+    def _writeval(self, statement: S.WriteVal) -> Output:
+        writer = self.env.drivers.writer(statement.writer)
+        compiled, inferred = self._compile(statement.expr)
+        value = self.env.evaluator().run(compiled)
+        args_compiled, _ = self._compile(statement.args)
+        args_value = self.env.evaluator().run(args_compiled)
+        writer(value, args_value)
+        return Output("writeval", "it", str(inferred))
+
+    # -- the SML-side registration view (Section 4.1) ------------------------------
+
+    def register_co(self, name: str, fn, signature: TypeScheme | Type,
+                    replace: bool = False) -> None:
+        """The paper's ``TopEnv.RegisterCO``: add an external primitive."""
+        self.env.register_co(name, fn, signature, replace)
+
+
+def _scheme_text(scheme: TypeScheme) -> str:
+    return str(scheme.body)
+
+
+__all__ = ["Session", "Output"]

@@ -1,0 +1,60 @@
+"""Type expressions and inference machinery for NRCA/AQL.
+
+The object types of Figure 1::
+
+    t ::= b | B | N | t1 × ... × tk | {t} | [[t]]_k
+
+extended with the base types ``real`` and ``string`` (the paper's
+uninterpreted base types, which its examples use for temperatures and
+names), bags (Section 6), and object function types ``t1 -> t2``.
+"""
+
+from repro.types.types import (
+    TArray,
+    TArrow,
+    TBag,
+    TBase,
+    TBool,
+    TNat,
+    TProduct,
+    TReal,
+    TSet,
+    TString,
+    TVar,
+    Type,
+    TypeScheme,
+    fresh_tvar,
+    type_of_value,
+)
+from repro.types.unify import (
+    Substitution,
+    apply_subst,
+    generalize,
+    instantiate,
+    unify,
+    zonk,
+)
+
+__all__ = [
+    "Type",
+    "TBase",
+    "TBool",
+    "TNat",
+    "TReal",
+    "TString",
+    "TProduct",
+    "TSet",
+    "TBag",
+    "TArray",
+    "TArrow",
+    "TVar",
+    "TypeScheme",
+    "fresh_tvar",
+    "type_of_value",
+    "Substitution",
+    "unify",
+    "apply_subst",
+    "zonk",
+    "generalize",
+    "instantiate",
+]

@@ -1,0 +1,183 @@
+"""Unification and type-scheme machinery for AQL type inference.
+
+A :class:`Substitution` maps type-variable idents to types.  ``unify``
+extends it; ``zonk`` fully applies it; ``generalize``/``instantiate``
+implement let-polymorphism for macros and primitives (Section 4.1: macros
+are typechecked at declaration — the ``typ`` lines of the sample session —
+and substituted at use sites, so they behave polymorphically).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.errors import UnificationError
+from repro.types.types import (
+    NUMERIC,
+    TArray,
+    TArrow,
+    TBag,
+    TBase,
+    TBool,
+    TNat,
+    TProduct,
+    TReal,
+    TSet,
+    TString,
+    TVar,
+    Type,
+    TypeScheme,
+    free_tvars,
+    fresh_tvar,
+)
+
+Substitution = Dict[int, Type]
+
+
+def walk(t: Type, subst: Substitution) -> Type:
+    """Resolve top-level variable bindings (without recursing into children)."""
+    while isinstance(t, TVar) and t.ident in subst:
+        t = subst[t.ident]
+    return t
+
+
+def zonk(t: Type, subst: Substitution) -> Type:
+    """Fully apply ``subst`` throughout ``t``."""
+    t = walk(t, subst)
+    if isinstance(t, TProduct):
+        return TProduct(tuple(zonk(item, subst) for item in t.items))
+    if isinstance(t, TSet):
+        return TSet(zonk(t.elem, subst))
+    if isinstance(t, TBag):
+        return TBag(zonk(t.elem, subst))
+    if isinstance(t, TArray):
+        return TArray(zonk(t.elem, subst), t.rank)
+    if isinstance(t, TArrow):
+        return TArrow(zonk(t.arg, subst), zonk(t.result, subst))
+    return t
+
+
+apply_subst = zonk
+
+
+def occurs(ident: int, t: Type, subst: Substitution) -> bool:
+    """Occurs check: does variable ``ident`` appear in ``t``?"""
+    t = walk(t, subst)
+    if isinstance(t, TVar):
+        return t.ident == ident
+    if isinstance(t, TProduct):
+        return any(occurs(ident, item, subst) for item in t.items)
+    if isinstance(t, (TSet, TBag, TArray)):
+        return occurs(ident, t.elem, subst)
+    if isinstance(t, TArrow):
+        return occurs(ident, t.arg, subst) or occurs(ident, t.result, subst)
+    return False
+
+
+def _satisfies_numeric(t: Type) -> bool:
+    return isinstance(t, (TNat, TReal))
+
+
+def _bind(var: TVar, t: Type, subst: Substitution) -> None:
+    if isinstance(t, TVar) and t.ident == var.ident:
+        return
+    if occurs(var.ident, t, subst):
+        raise UnificationError(f"occurs check: {var} in {t}")
+    if var.constraint == NUMERIC:
+        if isinstance(t, TVar):
+            if t.constraint != NUMERIC:
+                # propagate the numeric constraint onto the other variable
+                numeric = fresh_tvar(NUMERIC)
+                subst[t.ident] = numeric
+                subst[var.ident] = numeric
+                return
+        elif not _satisfies_numeric(t):
+            raise UnificationError(
+                f"numeric type variable cannot be {t} (expected nat or real)"
+            )
+    subst[var.ident] = t
+
+
+def unify(a: Type, b: Type, subst: Substitution) -> None:
+    """Destructively extend ``subst`` so that ``a`` and ``b`` become equal.
+
+    Raises :class:`~repro.errors.UnificationError` on mismatch.
+    """
+    a = walk(a, subst)
+    b = walk(b, subst)
+    if isinstance(a, TVar):
+        _bind(a, b, subst)
+        return
+    if isinstance(b, TVar):
+        _bind(b, a, subst)
+        return
+    if isinstance(a, TBool) and isinstance(b, TBool):
+        return
+    if isinstance(a, TNat) and isinstance(b, TNat):
+        return
+    if isinstance(a, TReal) and isinstance(b, TReal):
+        return
+    if isinstance(a, TString) and isinstance(b, TString):
+        return
+    if isinstance(a, TBase) and isinstance(b, TBase) and a.name == b.name:
+        return
+    if isinstance(a, TProduct) and isinstance(b, TProduct):
+        if len(a.items) != len(b.items):
+            raise UnificationError(
+                f"product arity mismatch: {a} vs {b}"
+            )
+        for x, y in zip(a.items, b.items):
+            unify(x, y, subst)
+        return
+    if isinstance(a, TSet) and isinstance(b, TSet):
+        unify(a.elem, b.elem, subst)
+        return
+    if isinstance(a, TBag) and isinstance(b, TBag):
+        unify(a.elem, b.elem, subst)
+        return
+    if isinstance(a, TArray) and isinstance(b, TArray):
+        if a.rank != b.rank:
+            raise UnificationError(f"array rank mismatch: {a} vs {b}")
+        unify(a.elem, b.elem, subst)
+        return
+    if isinstance(a, TArrow) and isinstance(b, TArrow):
+        unify(a.arg, b.arg, subst)
+        unify(a.result, b.result, subst)
+        return
+    raise UnificationError(f"cannot unify {a} with {b}")
+
+
+def generalize(t: Type, subst: Substitution,
+               monomorphic: Iterable[int] = ()) -> TypeScheme:
+    """Quantify over the free variables of ``zonk(t)`` not in ``monomorphic``."""
+    body = zonk(t, subst)
+    mono: Set[int] = set(monomorphic)
+    quantified = tuple(
+        ident for ident in free_tvars(body) if ident not in mono
+    )
+    return TypeScheme(quantified, body)
+
+
+def instantiate(scheme: TypeScheme) -> Type:
+    """Replace quantified variables with fresh ones."""
+    if not scheme.quantified:
+        return scheme.body
+    originals = free_tvars(scheme.body)
+    mapping: Substitution = {}
+    for ident in scheme.quantified:
+        original = originals.get(ident)
+        constraint = original.constraint if original is not None else None
+        mapping[ident] = fresh_tvar(constraint)
+    return zonk(scheme.body, mapping)
+
+
+__all__ = [
+    "Substitution",
+    "walk",
+    "zonk",
+    "apply_subst",
+    "occurs",
+    "unify",
+    "generalize",
+    "instantiate",
+]

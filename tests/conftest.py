@@ -1,0 +1,115 @@
+"""Shared fixtures and hypothesis strategies for the AQL test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.env.environment import TopEnv
+from repro.objects.array import Array
+from repro.objects.bag import Bag
+from repro.system.session import Session
+
+
+@pytest.fixture(scope="session")
+def std_env() -> TopEnv:
+    """One standard environment shared across the suite (macros are
+    immutable once registered, so sharing is safe for read-only use)."""
+    return TopEnv.standard()
+
+
+@pytest.fixture()
+def env() -> TopEnv:
+    """A fresh standard environment for tests that mutate it."""
+    return TopEnv.standard()
+
+
+@pytest.fixture()
+def session() -> Session:
+    """A fresh AQL session."""
+    return Session()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies over the complex-object value universe
+# ---------------------------------------------------------------------------
+
+nats = st.integers(min_value=0, max_value=50)
+small_nats = st.integers(min_value=0, max_value=8)
+reals = st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    max_size=6,
+)
+
+base_values = st.one_of(st.booleans(), nats, reals, strings)
+
+
+def _compound(children):
+    tuples = st.lists(children, min_size=2, max_size=3).map(tuple)
+    sets = st.lists(children, max_size=4).map(frozenset)
+    bags = st.lists(children, max_size=4).map(Bag)
+    arrays_1d = st.lists(children, max_size=4).map(Array.from_list)
+    return st.one_of(tuples, sets, bags, arrays_1d)
+
+
+values = st.recursive(base_values, _compound, max_leaves=12)
+
+#: homogeneous typed values (same-type elements), better for calculus tests
+nat_sets = st.lists(nats, max_size=8).map(frozenset)
+nat_arrays = st.lists(nats, min_size=0, max_size=10).map(Array.from_list)
+nonempty_nat_arrays = st.lists(nats, min_size=1, max_size=10).map(
+    Array.from_list
+)
+
+
+@st.composite
+def nat_matrices(draw, max_dim: int = 4, min_dim: int = 0):
+    rows = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    cols = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    flat = draw(st.lists(nats, min_size=rows * cols, max_size=rows * cols))
+    return Array((rows, cols), flat)
+
+
+# -- well-typed values: draw a type first, then values of that type ----------
+
+_TYPE_TAGS = st.recursive(
+    st.sampled_from(["bool", "nat", "real", "string"]),
+    lambda inner: st.one_of(
+        st.tuples(st.just("set"), inner),
+        st.tuples(st.just("bag"), inner),
+        st.tuples(st.just("array"), inner),
+        st.tuples(st.just("tuple"), st.lists(inner, min_size=2, max_size=3)),
+    ),
+    max_leaves=4,
+)
+
+_BASE_STRATEGIES = {
+    "bool": st.booleans(),
+    "nat": nats,
+    "real": reals,
+    "string": strings,
+}
+
+
+def _values_of(tag):
+    if isinstance(tag, str):
+        return _BASE_STRATEGIES[tag]
+    kind, inner = tag
+    if kind == "set":
+        return st.lists(_values_of(inner), max_size=4).map(frozenset)
+    if kind == "bag":
+        return st.lists(_values_of(inner), max_size=4).map(Bag)
+    if kind == "array":
+        return st.lists(_values_of(inner), max_size=4).map(Array.from_list)
+    if kind == "tuple":
+        return st.tuples(*[_values_of(t) for t in inner])
+    raise AssertionError(kind)
+
+
+@st.composite
+def typed_values(draw):
+    """A value whose collections are homogeneous (a well-typed object)."""
+    tag = draw(_TYPE_TAGS)
+    return draw(_values_of(tag))

@@ -1,0 +1,168 @@
+"""Hypothesis strategies generating random *well-typed* core expressions.
+
+The generator is type-directed: given a target type it draws a
+construction that produces that type, recursing on subexpression types.
+Expressions are well-typed by construction, but may still evaluate to ⊥
+(subscripts can be out of bounds, ``get`` can see non-singletons) —
+which is exactly what the soundness tests want to exercise.
+
+Environment variables of each base type are available in scope, so
+generated expressions exercise substitution machinery too.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import ast
+from repro.types.types import TArray, TBool, TNat, TProduct, TSet, Type
+
+#: variables available in generated expressions, with their types and
+#: the runtime bindings the tests supply
+ENV_TYPES = {
+    "n0": TNat(),
+    "n1": TNat(),
+    "b0": TBool(),
+    "sn": TSet(TNat()),
+    "an": TArray(TNat(), 1),
+}
+
+from repro.objects.array import Array  # noqa: E402
+
+ENV_VALUES = {
+    "n0": 2,
+    "n1": 5,
+    "b0": True,
+    "sn": frozenset({1, 3, 4}),
+    "an": Array.from_list([7, 2, 9, 4]),
+}
+
+_fresh_counter = [0]
+
+
+def _fresh(prefix: str) -> str:
+    _fresh_counter[0] += 1
+    return f"{prefix}_{_fresh_counter[0]}"
+
+
+def _vars_of(target: Type, scope):
+    return [name for name, t in scope.items() if t == target]
+
+
+@st.composite
+def expr_of(draw, target: Type, scope=None, depth: int = 3):
+    """Draw a core expression of type ``target``."""
+    scope = dict(ENV_TYPES) if scope is None else scope
+    choices = []
+
+    variables = _vars_of(target, scope)
+    if variables:
+        choices.append("var")
+    if isinstance(target, TNat):
+        choices.append("nat-lit")
+        if depth > 0:
+            choices += ["arith", "if", "sum", "len", "subscript-nat",
+                        "get-nat"]
+    elif isinstance(target, TBool):
+        choices.append("bool-lit")
+        if depth > 0:
+            choices += ["cmp-nat", "cmp-set", "if"]
+    elif isinstance(target, TSet):
+        choices.append("empty-set")
+        if depth > 0:
+            choices += ["singleton", "union", "ext", "if"]
+            if target.elem == TNat():
+                choices.append("gen")
+    elif isinstance(target, TArray) and target.rank == 1:
+        if depth > 0:
+            choices += ["tabulate", "mk-array", "if"]
+        else:
+            choices.append("mk-array-leaf")
+    elif isinstance(target, TProduct):
+        choices.append("tuple")
+    else:  # pragma: no cover - targets are drawn from the above
+        raise AssertionError(target)
+
+    choice = draw(st.sampled_from(choices))
+    recur = lambda t, d=depth - 1, s=scope: draw(expr_of(t, s, max(d, 0)))  # noqa: E731
+
+    if choice == "var":
+        return ast.Var(draw(st.sampled_from(variables)))
+    if choice == "nat-lit":
+        return ast.NatLit(draw(st.integers(0, 6)))
+    if choice == "bool-lit":
+        return ast.BoolLit(draw(st.booleans()))
+    if choice == "arith":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+        return ast.Arith(op, recur(TNat()), recur(TNat()))
+    if choice == "if":
+        return ast.If(recur(TBool()), recur(target), recur(target))
+    if choice == "sum":
+        var = _fresh("s")
+        inner = dict(scope)
+        inner[var] = TNat()
+        body = draw(expr_of(TNat(), inner, depth - 1))
+        return ast.Sum(var, body, recur(TSet(TNat())))
+    if choice == "len":
+        return ast.Dim(recur(TArray(TNat(), 1)), 1)
+    if choice == "subscript-nat":
+        return ast.Subscript(recur(TArray(TNat(), 1)), (recur(TNat()),))
+    if choice == "get-nat":
+        return ast.Get(recur(TSet(TNat())))
+    if choice == "cmp-nat":
+        op = draw(st.sampled_from(list(ast.CMP_OPS)))
+        return ast.Cmp(op, recur(TNat()), recur(TNat()))
+    if choice == "cmp-set":
+        op = draw(st.sampled_from(["=", "<>", "<="]))
+        return ast.Cmp(op, recur(TSet(TNat())), recur(TSet(TNat())))
+    if choice == "empty-set":
+        return ast.EmptySet()
+    if choice == "singleton":
+        return ast.Singleton(recur(target.elem))
+    if choice == "union":
+        return ast.Union(recur(target), recur(target))
+    if choice == "ext":
+        var = _fresh("x")
+        source_elem = TNat()
+        inner = dict(scope)
+        inner[var] = source_elem
+        body = draw(expr_of(target, inner, depth - 1))
+        return ast.Ext(var, body, recur(TSet(source_elem)))
+    if choice == "gen":
+        return ast.Gen(recur(TNat()))
+    if choice == "tabulate":
+        var = _fresh("i")
+        inner = dict(scope)
+        inner[var] = TNat()
+        body = draw(expr_of(target.elem, inner, depth - 1))
+        bound = draw(expr_of(TNat(), scope, 0))
+        return ast.Tabulate((var,), (bound,), body)
+    if choice in ("mk-array", "mk-array-leaf"):
+        size = draw(st.integers(0, 3))
+        sub_depth = 0 if choice == "mk-array-leaf" else depth - 1
+        items = tuple(
+            draw(expr_of(target.elem, scope, sub_depth))
+            for _ in range(size)
+        )
+        return ast.MkArray((ast.NatLit(size),), items)
+    if choice == "tuple":
+        return ast.TupleE(tuple(recur(t) for t in target.items))
+    raise AssertionError(choice)  # pragma: no cover
+
+
+#: target types the fuzz tests draw from
+TARGETS = [
+    TNat(),
+    TBool(),
+    TSet(TNat()),
+    TArray(TNat(), 1),
+    TSet(TProduct((TNat(), TBool()))),
+    TProduct((TNat(), TSet(TNat()))),
+]
+
+
+@st.composite
+def typed_exprs(draw):
+    """Draw ``(expr, target_type)`` pairs over the standard environment."""
+    target = draw(st.sampled_from(TARGETS))
+    return draw(expr_of(target, depth=3)), target

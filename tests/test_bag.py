@@ -1,0 +1,85 @@
+"""Unit tests for the Bag value class (NBC, Section 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.objects.bag import Bag
+
+
+class TestBasics:
+    def test_empty(self):
+        b = Bag()
+        assert len(b) == 0
+        assert list(b) == []
+
+    def test_multiplicities(self):
+        b = Bag(["a", "b", "a"])
+        assert b.count("a") == 2
+        assert b.count("b") == 1
+        assert b.count("c") == 0
+        assert len(b) == 3
+
+    def test_from_counts(self):
+        b = Bag.from_counts({"x": 3, "y": 0})
+        assert b.count("x") == 3
+        assert "y" not in b
+
+    def test_from_counts_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bag.from_counts({"x": -1})
+
+    def test_support(self):
+        assert Bag([1, 1, 2]).support() == frozenset({1, 2})
+
+    def test_contains(self):
+        assert 1 in Bag([1])
+        assert 2 not in Bag([1])
+
+
+class TestUnion:
+    def test_adds_multiplicities(self):
+        b = Bag(["a"]).union(Bag(["a", "b"]))
+        assert b.count("a") == 2
+        assert b.count("b") == 1
+
+    def test_unit(self):
+        b = Bag([1, 2, 2])
+        assert b.union(Bag()) == b
+        assert Bag().union(b) == b
+
+    @given(st.lists(st.integers(0, 5)), st.lists(st.integers(0, 5)))
+    def test_commutative(self, xs, ys):
+        assert Bag(xs).union(Bag(ys)) == Bag(ys).union(Bag(xs))
+
+    @given(st.lists(st.integers(0, 3)), st.lists(st.integers(0, 3)),
+           st.lists(st.integers(0, 3)))
+    def test_associative(self, xs, ys, zs):
+        a, b, c = Bag(xs), Bag(ys), Bag(zs)
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(st.lists(st.integers(0, 5)), st.lists(st.integers(0, 5)))
+    def test_size_additive(self, xs, ys):
+        assert len(Bag(xs).union(Bag(ys))) == len(xs) + len(ys)
+
+
+class TestValueProtocol:
+    def test_equality_ignores_insertion_order(self):
+        assert Bag([1, 2, 1]) == Bag([2, 1, 1])
+        assert Bag([1, 2]) != Bag([1, 2, 2])
+
+    def test_hashable(self):
+        assert len({Bag([1, 1]), Bag([1, 1]), Bag([1])}) == 2
+
+    def test_map_bag_preserves_multiplicity(self):
+        assert Bag([1, 2, 2]).map_bag(lambda v: v + 1) == Bag([2, 3, 3])
+
+    def test_map_bag_can_merge(self):
+        # non-injective maps add multiplicities (bag semantics)
+        assert Bag([1, 2]).map_bag(lambda v: 0) == Bag([0, 0])
+
+    def test_iteration_with_multiplicity(self):
+        assert sorted(Bag(["b", "a", "b"])) == ["a", "b", "b"]
+
+    def test_repr_deterministic(self):
+        assert repr(Bag([2, 1, 2])) == repr(Bag([1, 2, 2]))

@@ -1,0 +1,108 @@
+"""Tests for coordinate-valued indexing (§7 future work, implemented)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BottomError, EvalError
+from repro.external.coords import (
+    coord_floor,
+    coord_index,
+    coord_nearest,
+    register_coordinate_primitives,
+)
+from repro.objects.array import Array
+from repro.system.session import Session
+
+LAT = Array.from_list([30.0, 35.0, 40.0, 45.0, 50.0])
+
+
+class TestFloor:
+    def test_exact_hit(self):
+        assert coord_floor((LAT, 40.0)) == 2
+
+    def test_between_points(self):
+        assert coord_floor((LAT, 43.9)) == 2
+
+    def test_above_all(self):
+        assert coord_floor((LAT, 99.0)) == 4
+
+    def test_below_all_is_bottom(self):
+        with pytest.raises(BottomError):
+            coord_floor((LAT, 10.0))
+
+    @given(st.floats(min_value=30.0, max_value=50.0,
+                     allow_nan=False))
+    def test_floor_invariant(self, probe):
+        position = coord_floor((LAT, probe))
+        assert LAT[position] <= probe
+        if position + 1 < len(LAT):
+            assert LAT[position + 1] > probe
+
+
+class TestNearest:
+    def test_midpoints_tie_low(self):
+        assert coord_nearest((LAT, 37.5)) == 1
+
+    def test_closest_wins(self):
+        assert coord_nearest((LAT, 41.2)) == 2
+        assert coord_nearest((LAT, 43.8)) == 3
+
+    def test_clamps_at_edges(self):
+        assert coord_nearest((LAT, -100.0)) == 0
+        assert coord_nearest((LAT, 100.0)) == 4
+
+    def test_empty_is_bottom(self):
+        with pytest.raises(BottomError):
+            coord_nearest((Array((0,), []), 1.0))
+
+    @given(st.floats(min_value=0.0, max_value=80.0, allow_nan=False))
+    def test_nearest_minimizes_distance(self, probe):
+        position = coord_nearest((LAT, probe))
+        best = min(abs(c - probe) for c in LAT.flat)
+        assert abs(LAT[position] - probe) == best
+
+
+class TestExact:
+    def test_hit(self):
+        assert coord_index((LAT, 45.0)) == 3
+
+    def test_miss_is_bottom(self):
+        with pytest.raises(BottomError):
+            coord_index((LAT, 41.0))
+
+
+class TestValidation:
+    def test_bad_argument_shapes(self):
+        with pytest.raises(EvalError):
+            coord_floor((LAT,))
+        with pytest.raises(EvalError):
+            coord_floor(("not an array", 1.0))
+        with pytest.raises(EvalError):
+            coord_floor((Array((1, 1), [0.0]), 1.0))
+
+
+class TestInsideAQL:
+    def test_subscript_by_physical_coordinate(self):
+        session = Session()
+        register_coordinate_primitives(session.env)
+        session.env.set_val("LAT", LAT)
+        session.env.set_val(
+            "T", Array.from_list([60.0, 62.0, 64.0, 66.0, 68.0])
+        )
+        # "temperature at the grid point nearest 41.3°N"
+        got = session.query_value("T[coord_nearest!(LAT, 41.3)];")
+        assert got == 64.0
+
+    def test_coordinate_window_query(self):
+        session = Session()
+        register_coordinate_primitives(session.env)
+        session.env.set_val("LAT", LAT)
+        session.env.set_val(
+            "T", Array.from_list([60.0, 62.0, 64.0, 66.0, 68.0])
+        )
+        got = session.query_value(
+            "subseq!(T, coord_floor!(LAT, 35.0), "
+            "coord_floor!(LAT, 45.0));"
+        )
+        assert got == Array.from_list([62.0, 64.0, 66.0])

@@ -1,0 +1,60 @@
+"""Tests for the heuristic cost model."""
+
+from repro.core import ast
+from repro.core.builders import map_array, transpose, zip2
+from repro.optimizer.cost import estimate_cost
+from repro.optimizer.engine import default_optimizer
+
+N = ast.NatLit
+V = ast.Var
+
+
+class TestEstimates:
+    def test_leaf_cost_positive(self):
+        assert estimate_cost(V("x")) >= 1
+
+    def test_loop_multiplies_body(self):
+        flat = ast.Singleton(V("x"))
+        loop = ast.Ext("x", flat, V("S"))
+        assert estimate_cost(loop) > estimate_cost(flat) * 2
+
+    def test_constant_bounds_used(self):
+        small = ast.Tabulate(("i",), (N(2),), V("i"))
+        large = ast.Tabulate(("i",), (N(1000),), V("i"))
+        assert estimate_cost(large) > estimate_cost(small)
+
+    def test_nested_loops_compound(self):
+        inner = ast.Tabulate(("j",), (V("n"),), V("j"))
+        outer = ast.Tabulate(("i",), (V("n"),), inner)
+        assert estimate_cost(outer) > 10 * estimate_cost(inner)
+
+    def test_assumed_cardinality_parameter(self):
+        loop = ast.Ext("x", ast.Singleton(V("x")), V("S"))
+        assert estimate_cost(loop, assumed=100) > \
+            estimate_cost(loop, assumed=2)
+
+
+class TestOptimizationReducesCost:
+    def test_beta_p_cheaper(self):
+        opt = default_optimizer()
+        e = ast.Subscript(
+            ast.Tabulate(("i",), (N(1000),), ast.Arith("*", V("i"), N(2))),
+            (N(5),),
+        )
+        assert estimate_cost(opt.optimize(e)) < estimate_cost(e)
+
+    def test_eta_p_cheaper(self):
+        opt = default_optimizer()
+        e = map_array(lambda x: x, V("A"))
+        assert estimate_cost(opt.optimize(e)) < estimate_cost(e)
+
+    def test_transpose_rule_cheaper(self):
+        opt = default_optimizer()
+        e = transpose(ast.Tabulate(("i", "j"), (V("m"), V("n")), V("i")))
+        assert estimate_cost(opt.optimize(e)) < estimate_cost(e)
+
+    def test_map_fusion_cheaper(self):
+        opt = default_optimizer()
+        e = map_array(lambda x: ast.Arith("+", x, N(1)),
+                      map_array(lambda x: ast.Arith("*", x, N(2)), V("A")))
+        assert estimate_cost(opt.optimize(e)) < estimate_cost(e)

@@ -1,0 +1,68 @@
+"""Error paths of the desugarer (Figure 2 translation failure modes)."""
+
+import pytest
+
+from repro.errors import DesugarError
+from repro.surface.desugar import desugar_expression
+from repro.surface.parser import parse_expression
+
+
+def ds(source):
+    return desugar_expression(parse_expression(source))
+
+
+class TestLambdaPatternRestrictions:
+    def test_constant_in_lambda_pattern_rejected(self):
+        # P' ::= (P'1,...,P'n) | _ | \x — constants are not lambda patterns
+        with pytest.raises(DesugarError):
+            ds("fn (0, \\x) => x")
+
+    def test_nonbinding_var_in_lambda_pattern_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("fn (y, \\x) => x")
+
+    def test_nested_constant_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("fn ((\\a, 1), \\b) => a")
+
+    def test_duplicate_binder_in_lambda_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("fn (\\x, \\x) => x")
+
+    def test_let_patterns_same_restriction(self):
+        with pytest.raises(DesugarError):
+            ds("let val (0, \\x) = p in x end")
+
+
+class TestGeneratorPatterns:
+    def test_duplicate_binder_in_generator_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("{x | (\\x, \\x) <- R}")
+
+    def test_duplicate_across_nesting_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("{x | ((\\x, _), \\x) <- R}")
+
+    def test_constants_fine_in_generators(self):
+        # generator patterns DO admit constants (unlike lambda patterns)
+        ds("{x | (0, \\x) <- R}")
+
+
+class TestSpecialForms:
+    def test_summap_must_be_applied(self):
+        with pytest.raises(DesugarError):
+            ds("summap(fn \\x => x)")
+
+    def test_summap_single_function_only(self):
+        with pytest.raises(DesugarError):
+            ds("summap(f, g)!(S)")
+
+    def test_zero_argument_call_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("f()")
+
+    def test_special_forms_as_values_allowed(self):
+        # η-expansion makes bare special forms usable
+        core = ds("(gen, get)")
+        from repro.core import ast
+        assert isinstance(core, ast.TupleE)

@@ -1,0 +1,143 @@
+"""Tests for the environment module (Section 4.1 openness)."""
+
+import pytest
+
+from repro.core import ast
+from repro.env.environment import TopEnv
+from repro.env.primitives import simple_prim
+from repro.errors import RegistrationError, TypeCheckError
+from repro.objects.array import Array
+from repro.types.types import TArrow, TNat, TypeScheme
+
+N = ast.NatLit
+V = ast.Var
+
+
+class TestRegistration:
+    def test_register_primitive(self, env):
+        env.register_co("triple", lambda v: v * 3, TArrow(TNat(), TNat()))
+        out = env.evaluate(ast.App(ast.Prim("triple"), N(4)))
+        assert out == 12
+
+    def test_primitive_typechecked_at_use(self, env):
+        env.register_co("triple", lambda v: v * 3, TArrow(TNat(), TNat()))
+        bad = ast.App(ast.Prim("triple"), ast.BoolLit(True))
+        with pytest.raises(TypeCheckError):
+            env.compile(bad)
+
+    def test_duplicate_primitive_rejected(self, env):
+        env.register_co("p", lambda v: v, TArrow(TNat(), TNat()))
+        with pytest.raises(RegistrationError):
+            env.register_co("p", lambda v: v, TArrow(TNat(), TNat()))
+        env.register_co("p", lambda v: v + 1, TArrow(TNat(), TNat()),
+                        replace=True)
+
+    def test_register_macro_returns_scheme(self, env):
+        sig = env.register_macro(
+            "inc", ast.Lam("x", ast.Arith("+", V("x"), N(1)))
+        )
+        assert str(sig.body) == "nat -> nat"
+
+    def test_macro_bodies_resolved_against_earlier_macros(self, env):
+        env.register_macro("inc", ast.Lam("x", ast.Arith("+", V("x"), N(1))))
+        env.register_macro(
+            "inc2", ast.Lam("x", ast.App(V("inc"),
+                                         ast.App(V("inc"), V("x"))))
+        )
+        out = env.evaluate(ast.App(V("inc2"), N(5)))
+        assert out == 7
+
+    def test_ill_typed_macro_rejected(self, env):
+        bad = ast.Arith("+", ast.BoolLit(True), N(1))
+        with pytest.raises(TypeCheckError):
+            env.register_macro("bad", bad)
+
+    def test_vals(self, env):
+        env.set_val("x", 42)
+        assert env.has_val("x")
+        assert env.get_val("x") == 42
+        assert env.evaluate(V("x")) == 42
+
+
+class TestResolution:
+    def test_bound_variables_not_resolved(self, env):
+        env.set_val("x", 99)
+        e = ast.Lam("x", V("x"))  # λx.x — the x is the parameter
+        resolved = env.resolve(e)
+        assert resolved == e
+
+    def test_val_shadowing_in_comprehension(self, env):
+        env.set_val("x", 99)
+        e = ast.Ext("x", ast.Singleton(V("x")), ast.Gen(N(2)))
+        assert env.evaluate(e) == frozenset({0, 1})
+
+    def test_macro_resolution_precedence(self, env):
+        # macros win over vals of the same name? registration order is the
+        # user's concern; our rule: macros, then vals, then primitives
+        env.register_macro("thing", N(1))
+        env.set_val("thing", 2)
+        assert env.evaluate(V("thing")) == 1
+
+    def test_unbound_name_fails_typecheck(self, env):
+        with pytest.raises(TypeCheckError):
+            env.compile(V("missing"))
+
+    def test_prim_resolution(self, env):
+        # `min` is a builtin primitive reachable by bare name
+        e = ast.App(V("min"), ast.Const(frozenset({3, 1, 2})))
+        assert env.evaluate(e) == 1
+
+
+class TestStandardEnvironment:
+    def test_stdlib_macros_loaded(self, std_env):
+        names = std_env.macro_names()
+        for expected in ("zip", "subseq", "transpose", "hist", "dom",
+                         "count", "nest", "matmul"):
+            assert expected in names
+
+    def test_stdlib_schemes_polymorphic(self, std_env):
+        scheme = std_env.macro_scheme("zip")
+        assert scheme.quantified  # element types are generalized
+
+    def test_higher_order_native_prim(self, env):
+        # native primitives can apply AQL closures via the evaluator
+        def apply_twice(value, evaluator):
+            fn, start = value
+            return evaluator.apply_function(fn, evaluator.apply_function(
+                fn, start))
+
+        from repro.types.types import TProduct, fresh_tvar
+        a = fresh_tvar()
+        env.register_primitive(
+            "twice", apply_twice,
+            TArrow(TProduct((TArrow(a, a), a)), a),
+        )
+        e = ast.App(ast.Prim("twice"),
+                    ast.TupleE((ast.Lam("x", ast.Arith("*", V("x"), N(2))),
+                                N(3))))
+        assert env.evaluate(e) == 12
+
+
+class TestCompilePipeline:
+    def test_compile_returns_type(self, env):
+        compiled, inferred = env.compile(ast.Gen(N(3)))
+        assert str(inferred) == "{nat}"
+
+    def test_compile_optimizes(self, env):
+        tab = ast.Tabulate(("i",), (N(100),), V("i"))
+        compiled, _ = env.compile(ast.Subscript(tab, (N(5),)))
+        # β^p avoided the tabulation entirely
+        assert not any(isinstance(t, ast.Tabulate)
+                       for t in ast.subterms(compiled))
+
+    def test_compile_without_optimizer(self, env):
+        tab = ast.Tabulate(("i",), (N(100),), V("i"))
+        compiled, _ = env.compile(ast.Subscript(tab, (N(5),)),
+                                  optimize=False)
+        assert any(isinstance(t, ast.Tabulate)
+                   for t in ast.subterms(compiled))
+
+    def test_evaluate_end_to_end(self, env):
+        env.set_val("A", Array.from_list([4, 5, 6]))
+        e = ast.Subscript(V("A"), (N(1),))
+        assert env.evaluate(e) == 5

@@ -1,0 +1,119 @@
+"""Tests for the complex-object data exchange format (Section 3)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ExchangeFormatError
+from repro.objects.array import Array
+from repro.objects.bag import Bag
+from repro.objects.exchange import dumps, loads, pretty
+
+from conftest import values
+
+
+class TestDumps:
+    def test_scalars(self):
+        assert dumps(True) == "true"
+        assert dumps(7) == "7"
+        assert dumps(2.5) == "2.5"
+        assert dumps("nyc") == '"nyc"'
+
+    def test_real_always_relexes_as_real(self):
+        assert loads(dumps(2.0)) == 2.0
+        assert isinstance(loads(dumps(2.0)), float)
+
+    def test_tuple(self):
+        assert dumps((1, "a")) == '(1, "a")'
+
+    def test_set_canonical_order(self):
+        assert dumps(frozenset({3, 1})) == "{1, 3}"
+
+    def test_array_canonical_form(self):
+        assert dumps(Array((2, 2), [1, 2, 3, 4])) == "[[2, 2; 1, 2, 3, 4]]"
+
+    def test_bag(self):
+        assert dumps(Bag([2, 1, 2])) == "{|1, 2, 2|}"
+
+    def test_string_escaping(self):
+        assert loads(dumps('say "hi"\\now')) == 'say "hi"\\now'
+
+
+class TestLoads:
+    def test_one_d_array_literal(self):
+        assert loads("[[1, 2, 3]]") == Array((3,), [1, 2, 3])
+
+    def test_row_major_array(self):
+        assert loads("[[2,3; 0,1,2,3,4,5]]") == Array((2, 3), range(6))
+
+    def test_empty_array(self):
+        assert loads("[[]]") == Array((0,), [])
+
+    def test_empty_set_and_bag(self):
+        assert loads("{}") == frozenset()
+        assert loads("{||}") == Bag()
+
+    def test_nested(self):
+        v = loads('{(1, [[true, false]]), (2, [[true]])}')
+        assert len(v) == 2
+
+    def test_whitespace_tolerant(self):
+        assert loads("  ( 1 ,\n 2 )  ") == (1, 2)
+
+    def test_reals(self):
+        assert loads("1.5e2") == 150.0
+        assert loads("2.") == 2.0
+        assert isinstance(loads("2."), float)
+
+    def test_dims_mismatch_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads("[[2,2; 1,2,3]]")
+
+    def test_non_natural_dims_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads("[[1.5; 1]]")
+
+    def test_arity_one_tuple_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads("(1)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads("1 2")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads('"abc')
+
+    def test_double_semicolon_rejected(self):
+        with pytest.raises(ExchangeFormatError):
+            loads("[[1; 2; 3]]")
+
+
+class TestRoundtrip:
+    @given(values)
+    def test_loads_dumps_identity(self, v):
+        assert loads(dumps(v)) == v
+
+    def test_deep_nesting(self):
+        v = frozenset({
+            (1, Array((2,), [frozenset({(1.5, "a")}), frozenset()])),
+        })
+        assert loads(dumps(v)) == v
+
+
+class TestPretty:
+    def test_array_display_form(self):
+        text = pretty(Array((2,), [67.3, 67.2]))
+        assert text.startswith("[[(0):67.3")
+
+    def test_k_dim_keys(self):
+        text = pretty(Array((1, 1, 1), [5]))
+        assert "(0,0,0):5" in text
+
+    def test_truncation(self):
+        text = pretty(Array.from_list(list(range(100))), limit=3)
+        assert "..." in text
+
+    def test_no_truncation_when_zero(self):
+        text = pretty(Array.from_list(list(range(20))), limit=0)
+        assert "..." not in text

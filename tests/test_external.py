@@ -1,0 +1,199 @@
+"""Tests for the external GPPL primitives and the synthetic weather."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvalError
+from repro.external.heatindex import (
+    apparent_heat,
+    heat_index,
+    heatindex_day,
+    heatindex_prim,
+)
+from repro.external.solar import (
+    day_of_year,
+    solar_declination,
+    sunset_hour,
+    june_sunset_prim,
+)
+from repro.external.weather import (
+    HEAT_WAVE,
+    NY_LAT,
+    NY_LON,
+    WeatherModel,
+    june_arrays,
+    lat_index,
+    lon_index,
+    write_year_netcdf,
+)
+from repro.objects.array import Array
+
+
+class TestHeatIndex:
+    def test_mild_weather_near_air_temp(self):
+        assert abs(heat_index(70.0, 50.0) - 70.0) < 5.0
+
+    def test_hot_humid_exceeds_air_temp(self):
+        assert heat_index(95.0, 80.0) > 110.0
+
+    def test_monotone_in_humidity_when_hot(self):
+        assert heat_index(95.0, 80.0) > heat_index(95.0, 40.0)
+
+    def test_monotone_in_temperature(self):
+        assert heat_index(100.0, 60.0) > heat_index(90.0, 60.0)
+
+    def test_dry_adjustment_branch(self):
+        # rh < 13 and 80 <= t <= 112 triggers the subtraction
+        assert heat_index(95.0, 10.0) < heat_index(95.0, 14.0)
+
+    def test_humid_adjustment_branch(self):
+        assert heat_index(82.0, 95.0) > heat_index(82.0, 84.0)
+
+    def test_wind_damps(self):
+        assert apparent_heat(95.0, 60.0, 20.0) < \
+            apparent_heat(95.0, 60.0, 0.0)
+
+    def test_wind_damping_capped(self):
+        assert apparent_heat(95.0, 60.0, 25.0) == \
+            apparent_heat(95.0, 60.0, 250.0)
+
+    def test_day_score_is_max(self):
+        cool = (70.0, 50.0, 5.0)
+        hot = (98.0, 70.0, 0.0)
+        assert heatindex_day([cool, hot, cool]) == apparent_heat(*hot)
+
+    def test_empty_day_rejected(self):
+        with pytest.raises(EvalError):
+            heatindex_day([])
+
+    def test_prim_wrapper_validates(self):
+        with pytest.raises(EvalError):
+            heatindex_prim(frozenset())
+        with pytest.raises(EvalError):
+            heatindex_prim(Array.from_list([(1.0, 2.0)]))
+
+    def test_prim_wrapper_on_array(self):
+        arr = Array.from_list([(90.0, 60.0, 5.0), (95.0, 65.0, 5.0)])
+        assert heatindex_prim(arr) == heatindex_day(arr.flat)
+
+
+class TestSolar:
+    def test_day_of_year(self):
+        assert day_of_year(1, 1, 1995) == 1
+        assert day_of_year(6, 1, 1995) == 152
+        assert day_of_year(12, 31, 1995) == 365
+
+    def test_leap_year(self):
+        assert day_of_year(3, 1, 1996) == 61
+        assert day_of_year(3, 1, 1900) == 60  # century rule
+        assert day_of_year(3, 1, 2000) == 61  # 400-year rule
+
+    def test_declination_bounds(self):
+        for doy in range(1, 366, 10):
+            assert abs(solar_declination(doy)) <= math.radians(23.45) + 1e-9
+
+    def test_summer_sunsets_later_than_winter(self):
+        june = sunset_hour(NY_LAT, NY_LON, 6, 21, 1995)
+        december = sunset_hour(NY_LAT, NY_LON, 12, 21, 1995)
+        assert june > december
+
+    def test_nyc_june_sunset_evening(self):
+        assert 18 <= sunset_hour(NY_LAT, NY_LON, 6, 15, 1995) <= 20
+
+    def test_equator_always_near_18(self):
+        assert 17 <= sunset_hour(0.0, 0.0, 6, 21, 1995) <= 19
+
+    def test_polar_day(self):
+        assert sunset_hour(80.0, 0.0, 6, 21, 1995) == 23
+
+    def test_polar_night(self):
+        assert sunset_hour(80.0, 0.0, 12, 21, 1995) == 0
+
+    def test_prim_wrapper(self):
+        assert june_sunset_prim((NY_LAT, NY_LON, 15)) == \
+            sunset_hour(NY_LAT, NY_LON, 6, 15, 1995)
+
+    def test_prim_wrapper_validates(self):
+        with pytest.raises(EvalError):
+            june_sunset_prim((1.0, 2.0))
+
+
+class TestWeatherModel:
+    def test_deterministic(self):
+        a = WeatherModel().temperature_f(180, 12)
+        b = WeatherModel().temperature_f(180, 12)
+        assert a == b
+
+    def test_summer_warmer_than_winter(self):
+        model = WeatherModel()
+        assert model.temperature_f(200, 15) > model.temperature_f(20, 15)
+
+    def test_afternoon_warmer_than_night(self):
+        model = WeatherModel()
+        assert model.temperature_f(180, 15) > model.temperature_f(180, 3)
+
+    def test_humidity_bounded(self):
+        model = WeatherModel()
+        for doy in (10, 100, 200, 300):
+            for hour in range(0, 24, 3):
+                assert 15.0 <= model.humidity_pct(doy, hour) <= 98.0
+
+    def test_wind_increases_with_altitude(self):
+        model = WeatherModel()
+        assert model.wind_mph(180, 12, 3) > model.wind_mph(180, 12, 0)
+
+    def test_wind_nonnegative(self):
+        model = WeatherModel()
+        for hour in range(24):
+            assert model.wind_mph(50, hour, 0) >= 0.0
+
+    def test_heat_wave_days_hotter(self):
+        model = WeatherModel()
+        # June 25 (doy 176) vs June 20 (doy 171), evening
+        assert model.temperature_f(176, 20) > \
+            model.temperature_f(171, 20) + 4.0
+
+
+class TestJuneArrays:
+    def test_shapes_match_the_paper(self):
+        T, RH, WS = june_arrays()
+        assert T.dims == (720,)
+        assert RH.dims == (720,)
+        assert WS.dims == (1440, 4)
+
+    def test_deterministic_across_calls(self):
+        a = june_arrays()
+        b = june_arrays()
+        assert a == b
+
+    def test_custom_altitudes(self):
+        _, _, ws = june_arrays(altitude_levels=2)
+        assert ws.dims == (1440, 2)
+
+
+class TestYearFile:
+    def test_file_contents(self, tmp_path):
+        path = str(tmp_path / "year.nc")
+        write_year_netcdf(path, lat_points=2, lon_points=2)
+        from repro.io.netcdf import read_netcdf
+
+        ds = read_netcdf(path)
+        assert ds.numrecs == 365 * 24
+        assert ds.variables["temp"].dimensions == ("time", "lat", "lon")
+        assert ds.attributes["center_lat"] == NY_LAT
+
+    def test_leap_year_file(self, tmp_path):
+        path = str(tmp_path / "leap.nc")
+        write_year_netcdf(path, lat_points=1, lon_points=1, year=1996)
+        from repro.io.netcdf import read_netcdf
+
+        assert read_netcdf(path).numrecs == 366 * 24
+
+    def test_grid_indexing(self):
+        assert lat_index(NY_LAT) == 1
+        assert lon_index(NY_LON) == 1
+        assert lat_index(NY_LAT + 10) == 2  # clamped to the grid
+        assert lat_index(NY_LAT - 10) == 0

@@ -1,0 +1,120 @@
+"""Tests for the AQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.surface.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert kinds("foo Bar x1") == ["ident"] * 3
+
+    def test_identifier_with_prime(self):
+        # WS' from the Section 1 query
+        assert texts("WS'")[0] == "WS'"
+
+    def test_binder(self):
+        tokens = tokenize(r"\x")
+        assert tokens[0].kind == "binder"
+        assert tokens[0].text == "x"
+
+    def test_keywords(self):
+        assert kinds("fn if then else let val in end") == ["kw"] * 8
+
+    def test_naturals_and_reals(self):
+        assert kinds("42 3.14 1e5 2.5e-3") == \
+            ["nat", "real", "real", "real"]
+
+    def test_nat_dot_requires_digits_or_is_real(self):
+        # "1." style literals are not produced; '.' alone is an error
+        with pytest.raises(LexError):
+            tokenize("x . y")
+
+    def test_strings(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b\\c\nd"')[0].text == 'a"b\\c\nd'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+
+class TestSymbols:
+    def test_maximal_munch(self):
+        assert kinds("<- <= < :== == =") == \
+            ["<-", "<=", "<", ":==", "==", "="]
+
+    def test_arrow(self):
+        assert kinds("=>") == ["=>"]
+
+    def test_brackets_not_fused(self):
+        # [[ must lex as two tokens so A[B[0]] works
+        assert kinds("[[x]]") == ["[", "[", "ident", "]", "]"]
+
+    def test_application_bang(self):
+        assert kinds("gen!30") == ["ident", "!", "nat"]
+
+    def test_wildcard(self):
+        assert kinds("_") == ["_"]
+
+    def test_underscore_identifier(self):
+        assert kinds("_x") == ["ident"]
+
+
+class TestComments:
+    def test_simple_comment_skipped(self):
+        assert texts("1 (* comment *) 2") == ["1", "2"]
+
+    def test_nested_comments(self):
+        assert texts("a (* x (* y *) z *) b") == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* oops")
+
+    def test_comment_with_code_inside(self):
+        assert texts('x (* val \\y = "str"; *) z') == ["x", "z"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        try:
+            tokenize("ab\n  @")
+        except LexError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")
+
+
+class TestPaperSnippets:
+    def test_session_macro_line(self):
+        source = r"macro \days = fn (\m,\d,\y) => d + 1;"
+        assert tokenize(source)[0].text == "macro"
+
+    def test_intro_query_tokens(self):
+        source = r"{d | \d <- gen!30, \WS' == evenpos!(proj_col!(WS,0))}"
+        token_texts = texts(source)
+        assert "WS'" in token_texts
+        assert "==" in [t.kind for t in tokenize(source)]
+
+    def test_repr(self):
+        assert "Token" in repr(Token("nat", "1", 1, 1))

@@ -1,0 +1,299 @@
+"""P1 — tests for the pure-Python NetCDF classic codec."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetCDFError
+from repro.io.netcdf import (
+    NC_DOUBLE,
+    NC_INT,
+    read_netcdf,
+    read_variable,
+    write_netcdf,
+)
+from repro.objects.array import Array
+
+
+@pytest.fixture()
+def nc(tmp_path):
+    def make(name="data.nc", **kwargs):
+        path = str(tmp_path / name)
+        write_netcdf(path, **kwargs)
+        return path
+    return make
+
+
+class TestHeader:
+    def test_magic_and_version(self, nc):
+        path = nc(dimensions={"x": 2}, variables={
+            "v": ("int", ("x",), [1, 2])})
+        with open(path, "rb") as handle:
+            assert handle.read(4) == b"CDF\x01"
+
+    def test_version2_magic(self, tmp_path):
+        path = str(tmp_path / "v2.nc")
+        write_netcdf(path, {"x": 2}, {"v": ("int", ("x",), [1, 2])},
+                     version=2)
+        with open(path, "rb") as handle:
+            assert handle.read(4) == b"CDF\x02"
+        assert read_variable(path, "v") == Array((2,), [1, 2])
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.nc"
+        path.write_bytes(b"HDF5....")
+        with pytest.raises(NetCDFError):
+            read_netcdf(str(path))
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "trunc.nc"
+        path.write_bytes(b"CDF\x01\x00\x00")
+        with pytest.raises(NetCDFError):
+            read_netcdf(str(path))
+
+    def test_dimensions_decoded(self, nc):
+        path = nc(dimensions={"lat": 3, "lon": 4},
+                  variables={"v": ("int", ("lat", "lon"), list(range(12)))})
+        ds = read_netcdf(path)
+        assert ds.dimensions["lat"].length == 3
+        assert ds.dimensions["lon"].length == 4
+
+    def test_global_attributes(self, nc):
+        path = nc(dimensions={"x": 1},
+                  variables={"v": ("int", ("x",), [0])},
+                  attributes={"title": "t", "n": 4, "f": 2.5,
+                              "xs": [1, 2, 3]})
+        attrs = read_netcdf(path).attributes
+        assert attrs == {"title": "t", "n": 4, "f": 2.5, "xs": [1, 2, 3]}
+
+
+class TestDataTypes:
+    @pytest.mark.parametrize("type_name,values", [
+        ("byte", [-2, 0, 3]),
+        ("short", [-300, 0, 900]),
+        ("int", [-70000, 0, 70000]),
+        ("float", [1.5, -2.5, 0.0]),
+        ("double", [1.25e10, -3.5, 0.0]),
+    ])
+    def test_roundtrip(self, nc, type_name, values):
+        path = nc(dimensions={"x": len(values)},
+                  variables={"v": (type_name, ("x",), values)})
+        assert list(read_variable(path, "v").flat) == values
+
+    def test_char_variable(self, nc):
+        path = nc(dimensions={"x": 3},
+                  variables={"v": ("char", ("x",), ["a", "b", "c"])})
+        assert list(read_variable(path, "v").flat) == ["a", "b", "c"]
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(NetCDFError):
+            write_netcdf(str(tmp_path / "x.nc"), {"x": 1},
+                         {"v": ("quux", ("x",), [0])})
+
+
+class TestLayout:
+    def test_row_major(self, nc):
+        path = nc(dimensions={"a": 2, "b": 3},
+                  variables={"v": ("int", ("a", "b"), list(range(6)))})
+        arr = read_variable(path, "v")
+        assert arr[1, 0] == 3
+
+    def test_multiple_fixed_variables(self, nc):
+        path = nc(
+            dimensions={"x": 2, "y": 3},
+            variables={
+                "a": ("int", ("x",), [1, 2]),
+                "b": ("double", ("y",), [0.5, 1.5, 2.5]),
+                "c": ("short", ("x", "y"), list(range(6))),
+            },
+        )
+        assert read_variable(path, "a") == Array((2,), [1, 2])
+        assert read_variable(path, "b") == Array((3,), [0.5, 1.5, 2.5])
+        assert read_variable(path, "c").dims == (2, 3)
+
+    def test_padding_of_odd_sized_variables(self, nc):
+        # a 3-byte variable must pad to 4 so the next starts aligned
+        path = nc(dimensions={"x": 3, "y": 2},
+                  variables={"small": ("byte", ("x",), [1, 2, 3]),
+                             "next": ("int", ("y",), [7, 8])})
+        assert list(read_variable(path, "next").flat) == [7, 8]
+
+    def test_scalar_variable(self, nc):
+        path = nc(dimensions={"x": 1}, variables={"s": ("int", (), [42])})
+        assert read_variable(path, "s") == Array((1,), [42])
+
+
+class TestRecordVariables:
+    def test_single_record_variable(self, nc):
+        path = nc(dimensions={"t": None},
+                  variables={"v": ("double", ("t",), [1.0, 2.0, 3.0])})
+        ds = read_netcdf(path)
+        assert ds.numrecs == 3
+        assert ds.variables["v"].is_record
+        assert list(ds.read("v").flat) == [1.0, 2.0, 3.0]
+
+    def test_record_with_inner_dims(self, nc):
+        path = nc(dimensions={"t": None, "x": 2},
+                  variables={"v": ("int", ("t", "x"), list(range(6)))})
+        arr = read_variable(path, "v")
+        assert arr.dims == (3, 2)
+        assert arr[2, 1] == 5
+
+    def test_multiple_record_variables_interleaved(self, nc):
+        path = nc(
+            dimensions={"t": None, "x": 2},
+            variables={
+                "a": ("int", ("t",), [1, 2, 3]),
+                "b": ("double", ("t", "x"), [float(i) for i in range(6)]),
+            },
+        )
+        assert list(read_variable(path, "a").flat) == [1, 2, 3]
+        assert read_variable(path, "b")[2, 1] == 5.0
+
+    def test_record_and_fixed_mixed(self, nc):
+        path = nc(
+            dimensions={"t": None, "x": 2},
+            variables={
+                "fixed": ("int", ("x",), [10, 20]),
+                "rec": ("int", ("t",), [1, 2]),
+            },
+        )
+        assert list(read_variable(path, "fixed").flat) == [10, 20]
+        assert list(read_variable(path, "rec").flat) == [1, 2]
+
+    def test_record_dim_must_come_first(self, tmp_path):
+        with pytest.raises(NetCDFError):
+            write_netcdf(str(tmp_path / "x.nc"), {"x": 2, "t": None},
+                         {"v": ("int", ("x", "t"), [1, 2])})
+
+    def test_two_unlimited_dims_rejected(self, tmp_path):
+        with pytest.raises(NetCDFError):
+            write_netcdf(str(tmp_path / "x.nc"), {"t": None, "u": None}, {})
+
+
+class TestSubslabs:
+    def test_contiguous_tail(self, nc):
+        path = nc(dimensions={"x": 5},
+                  variables={"v": ("int", ("x",), [0, 1, 2, 3, 4])})
+        assert list(read_variable(path, "v", (2,), (3,)).flat) == [2, 3, 4]
+
+    def test_inner_block(self, nc):
+        path = nc(dimensions={"a": 4, "b": 4},
+                  variables={"v": ("int", ("a", "b"), list(range(16)))})
+        sub = read_variable(path, "v", (1, 1), (2, 2))
+        assert sub == Array((2, 2), [5, 6, 9, 10])
+
+    def test_record_subslab(self, nc):
+        path = nc(dimensions={"t": None, "x": 3},
+                  variables={"v": ("int", ("t", "x"), list(range(12)))})
+        sub = read_variable(path, "v", (1, 0), (2, 3))
+        assert list(sub.flat) == [3, 4, 5, 6, 7, 8]
+
+    def test_out_of_bounds_rejected(self, nc):
+        path = nc(dimensions={"x": 3},
+                  variables={"v": ("int", ("x",), [1, 2, 3])})
+        with pytest.raises(NetCDFError):
+            read_variable(path, "v", (2,), (5,))
+
+    def test_rank_mismatch_rejected(self, nc):
+        path = nc(dimensions={"x": 3},
+                  variables={"v": ("int", ("x",), [1, 2, 3])})
+        with pytest.raises(NetCDFError):
+            read_variable(path, "v", (0, 0), (1, 1))
+
+    def test_zero_count(self, nc):
+        path = nc(dimensions={"x": 3},
+                  variables={"v": ("int", ("x",), [1, 2, 3])})
+        assert read_variable(path, "v", (1,), (0,)).size == 0
+
+
+class TestWriterValidation:
+    def test_data_length_mismatch(self, tmp_path):
+        with pytest.raises(NetCDFError):
+            write_netcdf(str(tmp_path / "x.nc"), {"x": 3},
+                         {"v": ("int", ("x",), [1, 2])})
+
+    def test_unknown_dimension(self, tmp_path):
+        with pytest.raises(NetCDFError):
+            write_netcdf(str(tmp_path / "x.nc"), {"x": 1},
+                         {"v": ("int", ("y",), [1])})
+
+    def test_missing_variable_lookup(self, nc):
+        path = nc(dimensions={"x": 1}, variables={"v": ("int", ("x",), [1])})
+        with pytest.raises(NetCDFError):
+            read_variable(path, "nope")
+
+    def test_accepts_repro_array_input(self, nc):
+        arr = Array((2, 2), [1.5, 2.5, 3.5, 4.5])
+        path = nc(dimensions={"a": 2, "b": 2},
+                  variables={"v": ("double", ("a", "b"), arr)})
+        assert read_variable(path, "v") == arr
+
+    def test_accepts_nested_lists(self, nc):
+        path = nc(dimensions={"a": 2, "b": 2},
+                  variables={"v": ("int", ("a", "b"), [[1, 2], [3, 4]])})
+        assert read_variable(path, "v") == Array((2, 2), [1, 2, 3, 4])
+
+
+class TestPropertyRoundtrip:
+    @staticmethod
+    def _roundtrip(type_name, values):
+        import os
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".nc")
+        os.close(handle)
+        try:
+            write_netcdf(path, {"x": len(values)},
+                         {"v": (type_name, ("x",), values)})
+            return list(read_variable(path, "v").flat)
+        finally:
+            os.remove(path)
+
+    @given(st.lists(st.integers(-2**31 + 1, 2**31 - 1),
+                    min_size=1, max_size=30))
+    @settings(max_examples=25)
+    def test_int_roundtrip(self, values):
+        assert self._roundtrip("int", values) == values
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32),
+                    min_size=1, max_size=30))
+    @settings(max_examples=25)
+    def test_double_roundtrip(self, values):
+        got = self._roundtrip("double", values)
+        assert got == [float(v) for v in values]
+
+
+class TestVariableAttributes:
+    def test_roundtrip(self, nc):
+        path = nc(
+            dimensions={"x": 2},
+            variables={"v": ("double", ("x",), [1.0, 2.0],
+                             {"units": "degF", "scale": 0.5,
+                              "valid": [0, 100]})},
+        )
+        attrs = read_netcdf(path).variables["v"].attributes
+        assert attrs == {"units": "degF", "scale": 0.5, "valid": [0, 100]}
+
+    def test_mixed_with_and_without(self, nc):
+        path = nc(
+            dimensions={"x": 1},
+            variables={
+                "a": ("int", ("x",), [1], {"units": "m"}),
+                "b": ("int", ("x",), [2]),
+            },
+        )
+        ds = read_netcdf(path)
+        assert ds.variables["a"].attributes == {"units": "m"}
+        assert ds.variables["b"].attributes == {}
+
+    def test_data_layout_unaffected(self, nc):
+        path = nc(
+            dimensions={"x": 3},
+            variables={"v": ("short", ("x",), [7, 8, 9],
+                             {"long_name": "a longer description text"})},
+        )
+        assert list(read_variable(path, "v").flat) == [7, 8, 9]

@@ -1,0 +1,170 @@
+"""Tests for the rewrite engine: rules, phases, strategies, registration."""
+
+import pytest
+
+from repro.core import ast
+from repro.errors import RegistrationError
+from repro.optimizer.engine import (
+    Optimizer,
+    Phase,
+    Rule,
+    RuleBase,
+    default_optimizer,
+)
+
+N = ast.NatLit
+
+
+def fold_add(expr):
+    if isinstance(expr, ast.Arith) and expr.op == "+" \
+            and isinstance(expr.left, N) and isinstance(expr.right, N):
+        return N(expr.left.value + expr.right.value)
+    return None
+
+
+class TestRuleBase:
+    def test_add_and_iterate(self):
+        base = RuleBase()
+        base.add(Rule("fold", fold_add))
+        assert base.names() == ["fold"]
+        assert len(base) == 1
+
+    def test_duplicate_rejected(self):
+        base = RuleBase([Rule("fold", fold_add)])
+        with pytest.raises(RegistrationError):
+            base.add(Rule("fold", fold_add))
+
+    def test_remove(self):
+        base = RuleBase([Rule("fold", fold_add)])
+        base.remove("fold")
+        assert len(base) == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(RegistrationError):
+            RuleBase().remove("nope")
+
+
+class TestPhase:
+    def test_exhaustive_reaches_fixpoint(self):
+        phase = Phase("p", RuleBase([Rule("fold", fold_add)]))
+        e = ast.Arith("+", ast.Arith("+", N(1), N(2)), N(3))
+        assert phase.run(e) == N(6)
+
+    def test_once_strategy_single_pass(self):
+        # a rule that increments 0 -> 1 -> 2 ... must apply boundedly
+        def bump(expr):
+            if isinstance(expr, N) and expr.value < 3:
+                return N(expr.value + 1)
+            return None
+
+        once = Phase("p", RuleBase([Rule("bump", bump)]), strategy="once")
+        # local loop still applies at the same node within the pass
+        assert once.run(N(0)) == N(3)
+        assert once.stats.passes == 1
+
+    def test_stats_recorded(self):
+        phase = Phase("p", RuleBase([Rule("fold", fold_add)]))
+        phase.run(ast.Arith("+", N(1), N(2)))
+        assert phase.stats.applications == 1
+        assert phase.stats.by_rule == {"fold": 1}
+
+    def test_empty_rulebase_identity(self):
+        phase = Phase("p", RuleBase())
+        e = ast.Arith("+", N(1), N(2))
+        assert phase.run(e) is e
+
+    def test_bad_strategy(self):
+        with pytest.raises(RegistrationError):
+            Phase("p", RuleBase(), strategy="random")
+
+    def test_divergent_rule_is_cut_off(self):
+        # a rule that flips between two forms must not hang
+        def flip(expr):
+            if isinstance(expr, ast.Arith) and expr.op == "+":
+                return ast.Arith("+", expr.right, expr.left)
+            return None
+
+        phase = Phase("p", RuleBase([Rule("flip", flip)]))
+        e = ast.Arith("+", ast.Var("a"), ast.Var("b"))
+        out = phase.run(e)  # terminates
+        assert isinstance(out, ast.Arith)
+
+
+class TestOptimizer:
+    def test_phases_run_in_order(self):
+        log = []
+
+        def spy(name):
+            def rule(expr):
+                log.append(name)
+                return None
+            return rule
+
+        opt = Optimizer([
+            Phase("one", RuleBase([Rule("a", spy("one"))])),
+            Phase("two", RuleBase([Rule("b", spy("two"))])),
+        ])
+        opt.optimize(N(1))
+        assert log == ["one", "two"]
+
+    def test_phase_lookup(self):
+        opt = default_optimizer()
+        assert opt.phase("normalize").name == "normalize"
+        with pytest.raises(RegistrationError):
+            opt.phase("nope")
+
+    def test_add_phase_before(self):
+        opt = Optimizer([Phase("z", RuleBase())])
+        opt.add_phase(Phase("a", RuleBase()), before="z")
+        assert [p.name for p in opt.phases] == ["a", "z"]
+
+    def test_register_rule_dynamically(self):
+        # Section 4.1: users can inject optimization rules at run time
+        opt = default_optimizer()
+
+        def double_to_shift(expr):
+            if isinstance(expr, ast.Arith) and expr.op == "*" \
+                    and expr.right == N(2):
+                return ast.Arith("+", expr.left, expr.left)
+            return None
+
+        opt.register_rule("normalize", Rule("strength-reduce",
+                                            double_to_shift))
+        out = opt.optimize(ast.Arith("*", ast.Var("x"), N(2)))
+        assert out == ast.Arith("+", ast.Var("x"), ast.Var("x"))
+
+    def test_report(self):
+        opt = default_optimizer()
+        opt.optimize(ast.Arith("+", N(1), N(2)))
+        report = opt.report()
+        assert report["normalize"].applications >= 1
+
+
+class TestDefaultPipeline:
+    def test_has_paper_phases(self):
+        opt = default_optimizer()
+        names = [p.name for p in opt.phases]
+        assert names[:2] == ["normalize", "bounds"]
+
+    def test_default_rules_present(self):
+        opt = default_optimizer()
+        names = set(opt.phase("normalize").rules.names())
+        for expected in ("beta", "beta-p", "eta-p", "delta-p",
+                         "proj-tuple", "ext-ext-fusion"):
+            assert expected in names
+
+    def test_bounds_phase_rules(self):
+        opt = default_optimizer()
+        names = set(opt.phase("bounds").rules.names())
+        assert "tabulate-bound-elim" in names
+        assert "if-branch-elim" in names
+
+    def test_ablation_by_rule_removal(self):
+        opt = default_optimizer()
+        opt.phase("normalize").rules.remove("beta-p")
+        e = ast.Subscript(
+            ast.Tabulate(("i",), (N(3),), ast.Var("i")), (N(1),)
+        )
+        # without β^p the subscript of a tabulation survives normalization
+        out = opt.phase("normalize").run(e)
+        assert isinstance(out, ast.Subscript)

@@ -1,0 +1,105 @@
+"""Tests for the canonical linear order <_t (Sections 2 and 6)."""
+
+from hypothesis import given
+
+from repro.objects.array import Array
+from repro.objects.bag import Bag
+from repro.objects.ordering import (
+    compare_values,
+    rank_elements,
+    sort_values,
+    value_le,
+    value_lt,
+)
+
+from conftest import values
+
+
+class TestBaseOrder:
+    def test_booleans(self):
+        assert value_lt(False, True)
+
+    def test_naturals(self):
+        assert value_lt(2, 10)
+
+    def test_reals(self):
+        assert value_lt(1.5, 2.5)
+
+    def test_strings_lexicographic(self):
+        assert value_lt("apple", "pear")
+
+    def test_mixed_numeric(self):
+        assert value_lt(1, 1.5)
+        assert value_lt(0.5, 1)
+
+
+class TestStructuredOrder:
+    def test_tuples_lexicographic(self):
+        assert value_lt((1, 9), (2, 0))
+        assert value_lt((1, 1), (1, 2))
+
+    def test_sets_by_sorted_elements(self):
+        assert value_lt(frozenset({1, 2}), frozenset({1, 3}))
+
+    def test_smaller_prefix_set_first(self):
+        assert value_lt(frozenset({1}), frozenset({1, 2}))
+
+    def test_empty_set_least(self):
+        assert value_lt(frozenset(), frozenset({0}))
+
+    def test_arrays_by_dims_then_values(self):
+        assert value_lt(Array((2,), [9, 9]), Array((3,), [0, 0, 0]))
+        assert value_lt(Array((2,), [1, 2]), Array((2,), [1, 3]))
+
+    def test_bags_with_multiplicity(self):
+        assert value_lt(Bag([1]), Bag([1, 1]))
+
+    def test_nested(self):
+        a = frozenset({(1, frozenset({2}))})
+        b = frozenset({(1, frozenset({3}))})
+        assert value_lt(a, b)
+
+
+class TestOrderLaws:
+    @given(values)
+    def test_reflexive(self, v):
+        assert compare_values(v, v) == 0
+        assert value_le(v, v)
+
+    @given(values, values)
+    def test_antisymmetric_total(self, a, b):
+        ab = compare_values(a, b)
+        ba = compare_values(b, a)
+        assert (ab > 0) == (ba < 0)
+        assert (ab == 0) == (ba == 0)
+
+    @given(values, values, values)
+    def test_transitive(self, a, b, c):
+        if value_le(a, b) and value_le(b, c):
+            assert value_le(a, c)
+
+    @given(values, values)
+    def test_equal_values_compare_equal(self, a, b):
+        if a == b and type(a) is type(b):
+            assert compare_values(a, b) == 0
+
+
+class TestSortAndRank:
+    def test_sort_deterministic(self):
+        items = [frozenset({2}), frozenset(), frozenset({1, 2})]
+        assert sort_values(items) == sort_values(list(reversed(items)))
+
+    def test_rank_elements_one_based(self):
+        ranked = rank_elements(frozenset({"b", "a", "c"}))
+        assert ranked == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_rank_elements_bag_consecutive(self):
+        ranked = rank_elements(Bag(["x", "x", "y"]))
+        assert ranked == [("x", 1), ("x", 2), ("y", 3)]
+
+    @given(values)
+    def test_sorted_output_is_sorted(self, v):
+        collection = [v, v, 0, True, "z"]
+        ordered = sort_values(collection)
+        for left, right in zip(ordered, ordered[1:]):
+            assert value_le(left, right)

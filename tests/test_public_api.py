@@ -1,0 +1,84 @@
+"""Tests for the top-level public API (``import repro``)."""
+
+import pytest
+
+import repro
+from repro import (
+    Array,
+    Bag,
+    Session,
+    TopEnv,
+    aql_array,
+    compile_query,
+    run_query,
+)
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_value_classes_reexported(self):
+        assert Array is not None
+        assert Bag is not None
+
+
+class TestAqlArray:
+    def test_one_dim(self):
+        assert aql_array([1, 2, 3]) == Array((3,), [1, 2, 3])
+
+    def test_with_dims(self):
+        assert aql_array(range(6), dims=(2, 3)).rank == 2
+
+    def test_accepts_iterables(self):
+        assert aql_array(v * v for v in range(3)) == Array((3,), [0, 1, 4])
+
+
+class TestRunQuery:
+    def test_plain(self):
+        assert run_query("1 + 2") == 3
+
+    def test_with_bindings(self):
+        assert run_query("reverse!A", A=aql_array([1, 2, 3])) == \
+            aql_array([3, 2, 1])
+
+    def test_with_explicit_env(self):
+        env = TopEnv.standard()
+        env.set_val("x", 10)
+        assert run_query("x * x", env) == 100
+
+    def test_stdlib_available(self):
+        assert run_query("count!(gen!5)") == 5
+
+
+class TestCompileQuery:
+    def test_returns_core_and_type(self):
+        core, inferred = compile_query("{x | \\x <- gen!3}")
+        assert str(inferred) == "{nat}"
+
+    def test_compiled_core_is_optimized(self):
+        from repro.core import ast
+
+        core, _ = compile_query("[[i | \\i < 100]][7]")
+        assert not any(isinstance(t, ast.Tabulate)
+                       for t in ast.subterms(core))
+
+    def test_shares_environment(self):
+        env = TopEnv.standard()
+        env.set_val("A", aql_array([5]))
+        core, inferred = compile_query("len!A", env)
+        assert str(inferred) == "nat"
+
+
+class TestSessionConstruction:
+    def test_default(self):
+        assert Session().query_value("1;") == 1
+
+    def test_custom_env(self):
+        env = TopEnv.standard()
+        env.set_val("k", 7)
+        assert Session(env=env).query_value("k;") == 7

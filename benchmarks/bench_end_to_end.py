@@ -95,21 +95,37 @@ def test_compile_heatwave_query(benchmark):
     assert str(inferred) == "{nat}"
 
 
+def _median_seconds(benchmark):
+    """The benchmark fixture's median, when the plugin exposes one."""
+    stats = getattr(benchmark, "stats", None)
+    try:
+        return stats.stats.median
+    except AttributeError:
+        return None
+
+
 @pytest.mark.benchmark(group="P2-evaluate")
 @pytest.mark.parametrize("optimize", [True, False],
                          ids=["optimized", "unoptimized"])
-def test_evaluate_heatwave_query(benchmark, optimize):
+def test_evaluate_heatwave_query(benchmark, bench_record, optimize):
     session = _heatwave_session(optimize)
     result = benchmark(lambda: session.query_value(HEATWAVE_QUERY + ";"))
     assert result == frozenset({24, 26, 27})
+    # one instrumented re-run: BENCH_end_to_end.json records what the
+    # pipeline did (rule firings, cells, spans), not just how long
+    report = session.explain(HEATWAVE_QUERY + ";")
+    bench_record(seconds=_median_seconds(benchmark), explain=report,
+                 optimize=optimize)
 
 
 @pytest.mark.benchmark(group="P2-evaluate")
-def test_evaluate_sunset_query(benchmark, sunset_session):
+def test_evaluate_sunset_query(benchmark, bench_record, sunset_session):
     result = benchmark(
         lambda: sunset_session.query_value(SUNSET_QUERY + ";")
     )
     assert result == frozenset({25, 27, 28})
+    report = sunset_session.explain(SUNSET_QUERY + ";")
+    bench_record(seconds=_median_seconds(benchmark), explain=report)
 
 
 @pytest.mark.benchmark(group="P2-readval")

@@ -23,7 +23,12 @@ from repro.core.eval import NativePrim, apply_arith, index_set
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
-from repro.objects.ordering import compare_values, rank_elements, sort_values
+from repro.objects.ordering import (
+    canonical_elements,
+    compare_values,
+    rank_elements,
+    sort_values,
+)
 from repro.objects.values import value_equal
 
 #: a compiled expression: environment stack -> value
@@ -49,10 +54,19 @@ _SHIM = _PrimShim()
 
 
 class Compiler:
-    """Compiles core expressions against a primitive registry."""
+    """Compiles core expressions against a primitive registry.
 
-    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None):
+    ``probe`` (an :class:`~repro.obs.metrics.EvalProbe`) makes the
+    generated code self-instrumenting: each node's closure is wrapped
+    with a counting shim *at compile time*, so uninstrumented
+    compilation (the default) emits exactly the original closures with
+    no runtime checks.
+    """
+
+    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
+                 probe: Any = None):
         self.prims: Dict[str, NativePrim] = dict(prims or {})
+        self.probe = probe
 
     def compile(self, expr: ast.Expr,
                 scope: Tuple[str, ...] = ()) -> Code:
@@ -60,7 +74,26 @@ class Compiler:
         method = self._DISPATCH.get(type(expr))
         if method is None:
             raise EvalError(f"cannot compile {type(expr).__name__}")
-        return method(self, expr, scope)
+        code = method(self, expr, scope)
+        probe = self.probe
+        if probe is None:
+            return code
+        kind = type(expr).__name__
+
+        def probed(env, _code=code, _kind=kind, _probe=probe):
+            _probe.on_node(_kind)
+            try:
+                result = _code(env)
+            except BottomError as exc:
+                if not getattr(exc, "_obs_counted", False):
+                    exc._obs_counted = True
+                    _probe.on_bottom(exc.reason)
+                raise
+            if isinstance(result, (frozenset, Bag)):
+                _probe.on_collection(len(result))
+            return result
+
+        return probed
 
     # -- variables and functions ------------------------------------------------
 
@@ -209,8 +242,9 @@ class Compiler:
         body = self.compile(expr.body, scope + (expr.var,))
 
         def run(env):
+            # canonical order, not hash order: see Evaluator._sum
             total: Any = 0
-            for element in source(env):
+            for element in canonical_elements(source(env)):
                 total = total + body(env + [element])
             return total
 
@@ -222,6 +256,7 @@ class Compiler:
         bounds = [self.compile(bound, scope) for bound in expr.bounds]
         body = self.compile(expr.body, scope + expr.vars)
         rank = expr.rank
+        probe = self.probe
 
         def run(env):
             extents = []
@@ -234,11 +269,15 @@ class Compiler:
                     )
                 extents.append(value)
             if rank == 1:
-                return Array(extents,
-                             [body(env + [i]) for i in range(extents[0])])
-            return Array(extents, [
-                body(env + list(index)) for index in iter_indices(extents)
-            ])
+                values = [body(env + [i]) for i in range(extents[0])]
+            else:
+                values = [
+                    body(env + list(index))
+                    for index in iter_indices(extents)
+                ]
+            if probe is not None:
+                probe.on_cells(len(values))
+            return Array(extents, values)
 
         return run
 
@@ -269,7 +308,21 @@ class Compiler:
     def _index(self, expr: ast.IndexSet, scope) -> Code:
         inner = self.compile(expr.expr, scope)
         rank = expr.rank
-        return lambda env: index_set(inner(env), rank)
+        probe = self.probe
+        if probe is None:
+            return lambda env: index_set(inner(env), rank)
+
+        def run(env):
+            source = inner(env)
+            result = index_set(source, rank)
+            probe.on_index(
+                result.size,
+                sum(1 for cell in result.flat if cell),
+                len(source),
+            )
+            return result
+
+        return run
 
     def _get(self, expr: ast.Get, scope) -> Code:
         inner = self.compile(expr.expr, scope)
@@ -294,6 +347,7 @@ class Compiler:
     def _mk_array(self, expr: ast.MkArray, scope) -> Code:
         dim_codes = [self.compile(dim, scope) for dim in expr.dims]
         item_codes = [self.compile(item, scope) for item in expr.items]
+        probe = self.probe
 
         def run(env):
             dims = []
@@ -313,6 +367,8 @@ class Compiler:
                     f"array literal has {len(item_codes)} values "
                     f"for dims {dims}"
                 )
+            if probe is not None:
+                probe.on_cells(len(item_codes))
             return Array(dims, [code(env) for code in item_codes])
 
         return run
@@ -426,22 +482,38 @@ class CompiledEvaluator:
     calls on the same query pay compilation once.
     """
 
-    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None):
-        self.compiler = Compiler(prims)
+    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
+                 probe: Any = None):
+        self.compiler = Compiler(prims, probe)
+        self.probe = probe
         self._cache: Dict[int, Tuple[Tuple[str, ...], Code]] = {}
 
     def run(self, expr: ast.Expr,
             bindings: Optional[Mapping[str, Any]] = None) -> Any:
-        """Compile (cached) and evaluate with the given value bindings."""
+        """Compile (cached) and evaluate with the given value bindings.
+
+        The same boundary mapping as the interpreter's
+        :meth:`~repro.core.eval.Evaluator.run` applies: host
+        ``ValueError`` becomes ⊥ and stack exhaustion (at compile time
+        or runtime, for out-nesting expressions) becomes
+        :class:`~repro.errors.EvalError`.
+        """
         names = tuple(sorted(bindings)) if bindings else ()
         cached = self._cache.get(id(expr))
-        if cached is not None and cached[0] == names:
-            code = cached[1]
-        else:
-            code = self.compiler.compile(expr, names)
-            self._cache[id(expr)] = (names, code)
-        env = [bindings[name] for name in names] if bindings else []
-        return code(env)
+        try:
+            if cached is not None and cached[0] == names:
+                code = cached[1]
+            else:
+                code = self.compiler.compile(expr, names)
+                self._cache[id(expr)] = (names, code)
+            env = [bindings[name] for name in names] if bindings else []
+            return code(env)
+        except RecursionError:
+            raise EvalError(
+                "expression nesting exceeds the evaluator depth limit"
+            ) from None
+        except ValueError as exc:
+            raise BottomError(f"host value error: {exc}") from exc
 
     def apply_function(self, fn_value: Any, argument: Any) -> Any:
         """Apply a compiled function value to an argument."""

@@ -22,7 +22,12 @@ from repro.core import ast
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
-from repro.objects.ordering import compare_values, rank_elements, sort_values
+from repro.objects.ordering import (
+    canonical_elements,
+    compare_values,
+    rank_elements,
+    sort_values,
+)
 from repro.objects.values import value_equal
 
 #: native primitives receive ``(argument_value, evaluator)`` so that
@@ -73,20 +78,49 @@ class Closure:
 
 
 class Evaluator:
-    """Interprets NRCA expressions against a primitive registry."""
+    """Interprets NRCA expressions against a primitive registry.
 
-    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None):
+    ``probe`` (an :class:`~repro.obs.metrics.EvalProbe`) turns on
+    per-node instrumentation: node counts by AST class, ⊥ raises, and
+    produced collection cardinalities.  The hook is installed once at
+    construction by swapping the dispatch entry point, so the default
+    (``probe=None``) evaluator pays nothing for the feature.
+    """
+
+    def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
+                 probe: Any = None):
         self.prims: Dict[str, NativePrim] = dict(prims or {})
+        self.probe = probe
+        if probe is not None:
+            # instance attribute shadows the method: every interior
+            # self._eval call routes through the counting wrapper
+            self._eval = self._eval_probed
 
     # -- public API ----------------------------------------------------------
 
     def run(self, expr: ast.Expr,
             bindings: Optional[Mapping[str, Any]] = None) -> Any:
-        """Evaluate ``expr`` with optional top-level value bindings."""
+        """Evaluate ``expr`` with optional top-level value bindings.
+
+        Host-level failures are mapped at this boundary so callers only
+        ever see the calculus's own errors: a stray ``ValueError`` from
+        complex-object code (e.g. :class:`~repro.objects.array.Array`
+        construction inside a primitive) becomes ⊥, and blowing the host
+        interpreter's stack on a deeply nested expression surfaces as
+        :class:`~repro.errors.EvalError` instead of a bare
+        ``RecursionError``.
+        """
         env: Optional[Env] = None
         for name, value in (bindings or {}).items():
             env = Env.extend(env, name, value)
-        return self._eval(expr, env)
+        try:
+            return self._eval(expr, env)
+        except RecursionError:
+            raise EvalError(
+                "expression nesting exceeds the evaluator depth limit"
+            ) from None
+        except ValueError as exc:
+            raise BottomError(f"host value error: {exc}") from exc
 
     def apply_function(self, fn_value: Any, argument: Any) -> Any:
         """Apply an AQL function value (closure or native) to an argument."""
@@ -105,6 +139,31 @@ class Evaluator:
         if method is None:
             raise EvalError(f"no evaluation rule for {type(expr).__name__}")
         return method(self, expr, env)
+
+    def _eval_probed(self, expr: ast.Expr, env: Optional[Env]) -> Any:
+        """The instrumented twin of :meth:`_eval` (installed by probe).
+
+        Counts every node evaluation by AST class, every produced
+        set/bag cardinality, and every *distinct* ⊥ raise (a BottomError
+        is tagged the first time it passes a probe so strict propagation
+        through ancestors is not over-counted).
+        """
+        probe = self.probe
+        node_type = type(expr)
+        probe.on_node(node_type.__name__)
+        method = self._DISPATCH.get(node_type)
+        if method is None:
+            raise EvalError(f"no evaluation rule for {node_type.__name__}")
+        try:
+            result = method(self, expr, env)
+        except BottomError as exc:
+            if not getattr(exc, "_obs_counted", False):
+                exc._obs_counted = True
+                probe.on_bottom(exc.reason)
+            raise
+        if isinstance(result, (frozenset, Bag)):
+            probe.on_collection(len(result))
+        return result
 
     def _var(self, expr: ast.Var, env):
         return Env.lookup(env, expr.name)
@@ -189,7 +248,10 @@ class Evaluator:
         return frozenset(range(bound))
 
     def _sum(self, expr: ast.Sum, env):
-        source = self._eval(expr.source, env)
+        # iterate in canonical order, NOT frozenset hash order: float
+        # addition is non-associative, so a hash-ordered Σ over reals
+        # would differ between runs and platforms
+        source = canonical_elements(self._eval(expr.source, env))
         total: Any = 0
         for element in source:
             total = total + self._eval(
@@ -210,6 +272,8 @@ class Evaluator:
             for var, position in zip(expr.vars, index):
                 inner = Env.extend(inner, var, position)
             values.append(self._eval(expr.body, inner))
+        if self.probe is not None:
+            self.probe.on_cells(len(values))
         return Array(bounds, values)
 
     def _subscript(self, expr: ast.Subscript, env):
@@ -231,7 +295,14 @@ class Evaluator:
 
     def _index(self, expr: ast.IndexSet, env):
         source = self._eval(expr.expr, env)
-        return index_set(source, expr.rank)
+        result = index_set(source, expr.rank)
+        if self.probe is not None:
+            self.probe.on_index(
+                result.size,
+                sum(1 for cell in result.flat if cell),
+                len(source),
+            )
+        return result
 
     def _get(self, expr: ast.Get, env):
         source = self._eval(expr.expr, env)
@@ -257,6 +328,8 @@ class Evaluator:
             raise BottomError(
                 f"array literal has {len(expr.items)} values for dims {dims}"
             )
+        if self.probe is not None:
+            self.probe.on_cells(len(expr.items))
         return Array(dims, (self._eval(item, env) for item in expr.items))
 
     def _prim(self, expr: ast.Prim, env):

@@ -27,6 +27,7 @@ from repro.core.eval import Evaluator
 from repro.core.typecheck import TypeChecker
 from repro.errors import RegistrationError, TypeCheckError
 from repro.io.drivers import DriverRegistry, default_registry
+from repro.obs import Observability
 from repro.optimizer.engine import Optimizer, Rule, default_optimizer
 from repro.types.types import Type, TypeScheme
 from repro.types.unify import generalize
@@ -38,7 +39,8 @@ class TopEnv:
     def __init__(self,
                  drivers: Optional[DriverRegistry] = None,
                  optimizer: Optional[Optimizer] = None,
-                 backend: str = "interpreter"):
+                 backend: str = "interpreter",
+                 observe: bool = False):
         if backend not in ("interpreter", "compiled"):
             raise RegistrationError(f"unknown backend {backend!r}")
         self._prim_impls: Dict[str, Callable[[Any, Evaluator], Any]] = {}
@@ -49,6 +51,10 @@ class TopEnv:
         self.optimizer = (optimizer if optimizer is not None
                           else default_optimizer())
         self.backend = backend
+        #: the observability switch threaded through the whole pipeline
+        #: (Section 4.1's openness applied to measurement); disabled by
+        #: default, in which case every instrument is the zero-cost null
+        self.obs = Observability(enabled=observe)
 
     # -- construction -----------------------------------------------------------
 
@@ -179,20 +185,30 @@ class TopEnv:
         pass for faster repeated evaluation (Section 3's code-generator
         motivation).
         """
+        probe = self.obs.metrics if self.obs.enabled else None
         if self.backend == "compiled":
             from repro.core.compile import CompiledEvaluator
 
-            return CompiledEvaluator(self._prim_impls)
-        return Evaluator(self._prim_impls)
+            return CompiledEvaluator(self._prim_impls, probe=probe)
+        return Evaluator(self._prim_impls, probe=probe)
 
     def compile(self, expr: ast.Expr,
                 optimize: bool = True) -> Tuple[ast.Expr, Type]:
         """The query-processing pipeline of Section 4.1 after desugaring:
-        resolve → typecheck → optimize."""
-        resolved = self.resolve(expr)
-        inferred = self.typechecker().check(resolved)
+        resolve → typecheck → optimize.
+
+        Each stage runs inside a tracer span (the zero-cost null when
+        observability is off); the optimize span nests one child span
+        per optimizer phase.
+        """
+        tracer = self.obs.tracer
+        with tracer.span("resolve"):
+            resolved = self.resolve(expr)
+        with tracer.span("typecheck"):
+            inferred = self.typechecker().check(resolved)
         if optimize:
-            resolved = self.optimizer.optimize(resolved)
+            with tracer.span("optimize"):
+                resolved = self.optimizer.optimize(resolved, tracer=tracer)
         return resolved, inferred
 
     def evaluate(self, expr: ast.Expr, optimize: bool = True) -> Any:

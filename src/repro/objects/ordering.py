@@ -102,6 +102,35 @@ def sort_values(values: Iterable[Any]) -> List[Any]:
     return sorted(values, key=cmp_to_key(compare_values))
 
 
+#: scalar types whose native Python order agrees with ``<_t`` and whose
+#: ``sort`` runs at C speed (collections need :func:`sort_values`)
+_NATIVE_SORTABLE = (bool, int, float, str)
+
+
+def canonical_elements(values: Iterable[Any]) -> List[Any]:
+    """The elements of a collection in a canonical, deterministic order.
+
+    Python's ``frozenset`` iterates in hash order, which varies between
+    processes and platforms — any float computation folded over a set in
+    iteration order (e.g. the evaluator's ``Σ``) would be
+    nondeterministic, because float addition is not associative.  This
+    helper gives loops a pinned order: scalar elements sort natively
+    (C-speed, and the typing rules make collections homogeneous), and
+    anything else falls back to the total order ``<_t`` of
+    :func:`sort_values`.
+    """
+    ordered = list(values)
+    if len(ordered) > 1:
+        if isinstance(ordered[0], _NATIVE_SORTABLE):
+            try:
+                ordered.sort()
+                return ordered
+            except TypeError:  # heterogeneous (ill-typed) data; <_t totals
+                pass
+        return sort_values(ordered)
+    return ordered
+
+
 def rank_elements(values: Iterable[Any]) -> List[tuple]:
     """Enumerate a collection in canonical order with 1-based ranks.
 
@@ -119,5 +148,6 @@ __all__ = [
     "value_lt",
     "value_le",
     "sort_values",
+    "canonical_elements",
     "rank_elements",
 ]

@@ -1,0 +1,121 @@
+"""The EXPLAIN/:profile report: one object tying the whole trace together.
+
+An :class:`ExplainReport` packages what the pipeline observed while
+answering one query:
+
+* the optimized core expression (rendered via
+  :mod:`repro.core.printer`) — the paper's "resulting optimized code";
+* the span tree covering parse, desugar, typecheck, every optimizer
+  phase, and evaluation;
+* per-phase rule-firing statistics (counts *and* cumulative rule
+  timings, from :class:`~repro.optimizer.engine.PhaseStats`);
+* the evaluator counters (:class:`~repro.obs.metrics.EvalMetrics`).
+
+``render()`` produces the REPL's ``:profile`` text; ``to_dict()`` is the
+JSON schema (documented in ``docs/OBSERVABILITY.md``) that
+``benchmarks/conftest.py`` embeds in every ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import EvalMetrics
+from repro.obs.trace import Span
+
+
+@dataclass
+class ExplainReport:
+    """Everything observed while answering one query."""
+
+    source: str
+    type_text: str
+    core_text: str
+    spans: Optional[Span] = None
+    phase_stats: Dict[str, Any] = field(default_factory=dict)
+    metrics: Optional[EvalMetrics] = None
+    value: Any = None
+    has_value: bool = False
+
+    def span(self, name: str) -> Optional[Span]:
+        """Look up a recorded pipeline span by name (e.g. ``"parse"``)."""
+        if self.spans is None:
+            return None
+        if self.spans.name == name:
+            return self.spans
+        return self.spans.find(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON export consumed by the benchmark harness."""
+        payload: Dict[str, Any] = {
+            "source": self.source,
+            "type": self.type_text,
+            "core": self.core_text,
+        }
+        if self.spans is not None:
+            payload["spans"] = self.spans.to_dict()
+        if self.phase_stats:
+            payload["phases"] = {
+                name: stats.to_dict() if hasattr(stats, "to_dict") else stats
+                for name, stats in self.phase_stats.items()
+            }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.to_dict()
+        return payload
+
+    def render(self) -> str:
+        """The multi-section text shown by the REPL's ``:profile``."""
+        sections = [
+            "== optimized core ==",
+            self.core_text,
+            f"typ it : {self.type_text}",
+        ]
+        if self.spans is not None:
+            sections += ["", "== pipeline spans ==",
+                         _render_span_tree(self.spans)]
+        if self.phase_stats:
+            sections += ["", "== optimizer rule firings =="]
+            for name, stats in self.phase_stats.items():
+                sections.append(_render_phase(name, stats))
+        if self.metrics is not None:
+            sections += ["", "== evaluator counters ==",
+                         self.metrics.render()]
+        return "\n".join(sections)
+
+
+def _render_span_tree(root: Span, indent: str = "  ") -> str:
+    """Indented per-stage timings, skipping the synthetic root."""
+    lines = []
+    for depth, span in root.walk():
+        if span is root and span.name == "trace":
+            continue
+        offset = depth - (1 if root.name == "trace" else 0)
+        extra = ""
+        if span.meta:
+            extra = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(span.meta.items())
+            )
+        lines.append(f"{indent * max(offset, 0)}{span.name:<24s} "
+                     f"{span.seconds * 1e3:9.3f} ms{extra}")
+    return "\n".join(lines)
+
+
+def _render_phase(name: str, stats: Any) -> str:
+    """One phase's firing counts and cumulative per-rule timings."""
+    passes = getattr(stats, "passes", 0)
+    applications = getattr(stats, "applications", 0)
+    seconds = getattr(stats, "seconds", 0.0)
+    header = (f"{name}: {applications} firings in {passes} passes "
+              f"({seconds * 1e3:.3f} ms)")
+    by_rule = getattr(stats, "by_rule", {}) or {}
+    time_by_rule = getattr(stats, "time_by_rule", {}) or {}
+    lines = [header]
+    for rule, count in sorted(by_rule.items(), key=lambda kv: (-kv[1], kv[0])):
+        timing = time_by_rule.get(rule)
+        suffix = f"  {timing * 1e3:.3f} ms" if timing is not None else ""
+        lines.append(f"  {rule:<28s} x{count}{suffix}")
+    return "\n".join(lines)
+
+
+__all__ = ["ExplainReport"]

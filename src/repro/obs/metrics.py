@@ -1,0 +1,161 @@
+"""Evaluator counters, collected behind a hook interface.
+
+The evaluator (:mod:`repro.core.eval`) and the code generator
+(:mod:`repro.core.compile`) accept an optional *probe* implementing the
+:class:`EvalProbe` protocol.  When no probe is supplied the engines run
+their original uninstrumented code paths — instrumentation is selected
+once per evaluator/compile, never per node, so the disabled case is
+zero-cost.
+
+:class:`EvalMetrics` is the stock probe: plain counters answering the
+questions the ROADMAP's performance work needs — *how many nodes were
+evaluated, of which AST classes?  how many tabulation cells were
+materialized?  how large were the ``index_k`` group-bys?  how many ⊥
+were raised?  how big were the sets and bags the query touched?*
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class EvalProbe:
+    """The hook interface evaluation engines report into.
+
+    Subclass and override whichever hooks you need; the defaults are
+    no-ops so partial probes stay cheap.  All hooks must be exception
+    free — a probe must never change evaluation results (the property
+    tests in ``tests/test_observability.py`` pin this down).
+    """
+
+    __slots__ = ()
+
+    def on_node(self, kind: str) -> None:
+        """One AST node of class ``kind`` was evaluated."""
+
+    def on_cells(self, count: int) -> None:
+        """A tabulation (or array literal) materialized ``count`` cells."""
+
+    def on_index(self, cells: int, groups: int, pairs: int) -> None:
+        """An ``index_k`` built ``cells`` cells grouping ``pairs`` pairs
+        into ``groups`` non-empty groups."""
+
+    def on_bottom(self, reason: str) -> None:
+        """A ⊥ (:class:`~repro.errors.BottomError`) was raised."""
+
+    def on_collection(self, size: int) -> None:
+        """A set or bag of cardinality ``size`` was produced."""
+
+
+class EvalMetrics(EvalProbe):
+    """Counter-collecting probe; one instance per observed run."""
+
+    __slots__ = ("node_evals", "nodes_by_class", "cells_materialized",
+                 "tabulations", "index_groupbys", "index_cells",
+                 "index_groups", "index_pairs", "max_group_size",
+                 "bottom_raises", "bottom_reasons", "collections_touched",
+                 "collection_elements", "max_collection_size")
+
+    def __init__(self):
+        self.node_evals = 0
+        self.nodes_by_class: Dict[str, int] = {}
+        self.cells_materialized = 0
+        self.tabulations = 0
+        self.index_groupbys = 0
+        self.index_cells = 0
+        self.index_groups = 0
+        self.index_pairs = 0
+        self.max_group_size = 0
+        self.bottom_raises = 0
+        self.bottom_reasons: Dict[str, int] = {}
+        self.collections_touched = 0
+        self.collection_elements = 0
+        self.max_collection_size = 0
+
+    # -- EvalProbe hooks ----------------------------------------------------
+
+    def on_node(self, kind: str) -> None:
+        """Count one evaluated node under its AST class name."""
+        self.node_evals += 1
+        self.nodes_by_class[kind] = self.nodes_by_class.get(kind, 0) + 1
+
+    def on_cells(self, count: int) -> None:
+        """Count one materializing construct and its cells."""
+        self.tabulations += 1
+        self.cells_materialized += count
+
+    def on_index(self, cells: int, groups: int, pairs: int) -> None:
+        """Count one ``index_k`` group-by and its sizes."""
+        self.index_groupbys += 1
+        self.index_cells += cells
+        self.index_groups += groups
+        self.index_pairs += pairs
+        if groups:
+            # mean pairs per non-empty group bounds the largest group
+            self.max_group_size = max(self.max_group_size, pairs - groups + 1)
+
+    def on_bottom(self, reason: str) -> None:
+        """Count one raised ⊥, bucketed by its reason string."""
+        self.bottom_raises += 1
+        key = reason.split(":")[0] if reason else "undefined"
+        self.bottom_reasons[key] = self.bottom_reasons.get(key, 0) + 1
+
+    def on_collection(self, size: int) -> None:
+        """Count one produced set/bag and its cardinality."""
+        self.collections_touched += 1
+        self.collection_elements += size
+        if size > self.max_collection_size:
+            self.max_collection_size = size
+
+    # -- reporting ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of every counter."""
+        return {
+            "node_evals": self.node_evals,
+            "nodes_by_class": dict(
+                sorted(self.nodes_by_class.items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+            ),
+            "cells_materialized": self.cells_materialized,
+            "tabulations": self.tabulations,
+            "index_groupbys": self.index_groupbys,
+            "index_cells": self.index_cells,
+            "index_groups": self.index_groups,
+            "index_pairs": self.index_pairs,
+            "bottom_raises": self.bottom_raises,
+            "bottom_reasons": dict(sorted(self.bottom_reasons.items())),
+            "collections_touched": self.collections_touched,
+            "collection_elements": self.collection_elements,
+            "max_collection_size": self.max_collection_size,
+        }
+
+    def render(self) -> str:
+        """Human-readable counter lines for the ``:profile`` report."""
+        lines = [
+            f"node evaluations      {self.node_evals}",
+            f"cells materialized    {self.cells_materialized} "
+            f"(in {self.tabulations} tabulations)",
+            f"index_k group-bys     {self.index_groupbys} "
+            f"({self.index_pairs} pairs -> {self.index_groups} groups, "
+            f"{self.index_cells} cells)",
+            f"bottom raises         {self.bottom_raises}",
+            f"collections touched   {self.collections_touched} "
+            f"({self.collection_elements} elements, "
+            f"max {self.max_collection_size})",
+        ]
+        if self.nodes_by_class:
+            top = sorted(self.nodes_by_class.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:8]
+            lines.append("top node classes      " + "  ".join(
+                f"{name}:{count}" for name, count in top
+            ))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"EvalMetrics(nodes={self.node_evals}, "
+                f"cells={self.cells_materialized}, "
+                f"bottoms={self.bottom_raises})")
+
+
+__all__ = ["EvalProbe", "EvalMetrics"]

@@ -19,11 +19,13 @@ must be transparent).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import ast
 from repro.errors import RegistrationError
+from repro.obs.trace import NULL_TRACER
 
 RewriteFn = Callable[[ast.Expr], Optional[ast.Expr]]
 
@@ -32,9 +34,13 @@ RewriteFn = Callable[[ast.Expr], Optional[ast.Expr]]
 class Rule:
     """A named rewrite rule.
 
-    ``fn`` returns the rewritten node, or ``None`` when the rule does not
-    apply.  Rules must be *local*: they look only at the node they are
-    given (which may be an arbitrarily large subtree).
+    ``fn`` returns ``None`` when the rule does not apply, or a *new*
+    node when it does — a rule must never hand back the very object it
+    was given (the engine detects progress with an identity check, not a
+    structural comparison, so returning the input unchanged would count
+    as an endless firing).  Returning a pre-existing *subnode* of the
+    input is fine.  Rules must be *local*: they look only at the node
+    they are given (which may be an arbitrarily large subtree).
     """
 
     name: str
@@ -80,11 +86,35 @@ class RuleBase:
 
 @dataclass
 class PhaseStats:
-    """Counters reported per optimization phase."""
+    """Counters reported per optimization phase.
+
+    ``by_rule`` is always collected (counting is nearly free).  The
+    timing fields — ``seconds`` for the whole phase, ``time_by_rule``
+    for cumulative seconds spent *attempting* each rule (hits and
+    misses) — are only populated when the phase runs instrumented, i.e.
+    under an enabled tracer; otherwise they stay at their zeros.
+    """
 
     passes: int = 0
     applications: int = 0
     by_rule: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    attempts: int = 0
+    time_by_rule: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot (timings rounded to nanoseconds)."""
+        return {
+            "passes": self.passes,
+            "applications": self.applications,
+            "by_rule": dict(self.by_rule),
+            "seconds": round(self.seconds, 9),
+            "attempts": self.attempts,
+            "time_by_rule": {
+                name: round(spent, 9)
+                for name, spent in self.time_by_rule.items()
+            },
+        }
 
 
 class Phase:
@@ -105,20 +135,37 @@ class Phase:
         self.rules = rules if rules is not None else RuleBase()
         self.strategy = strategy
         self.stats = PhaseStats()
+        self._apply = self._apply_first
 
-    def run(self, expr: ast.Expr) -> ast.Expr:
-        """Apply this phase's rules to ``expr`` under its strategy."""
+    def run(self, expr: ast.Expr, instrument: bool = False) -> ast.Expr:
+        """Apply this phase's rules to ``expr`` under its strategy.
+
+        With ``instrument=True`` the phase additionally records its
+        wall-clock time and cumulative per-rule attempt timings into
+        :attr:`stats` (a per-attempt clock read — only paid when an
+        enabled tracer asked for it).
+        """
         self.stats = PhaseStats()
         if not len(self.rules):
             return expr
+        self._apply = (self._apply_first_timed if instrument
+                       else self._apply_first)
+        started = time.perf_counter() if instrument else 0.0
         passes = 1 if self.strategy == "once" else self.MAX_PASSES
-        for _ in range(passes):
-            expr, changed = self._bottom_up_pass(expr)
-            self.stats.passes += 1
-            if not changed:
-                break
-            if ast.node_count(expr) > self.MAX_NODES:
-                break
+        try:
+            for _ in range(passes):
+                expr, changed = self._bottom_up_pass(expr)
+                self.stats.passes += 1
+                if not changed:
+                    break
+                if ast.node_count(expr) > self.MAX_NODES:
+                    break
+        except RecursionError:
+            # the expression out-nests the host stack: optimization must
+            # stay transparent, so hand back the best expression so far
+            pass
+        if instrument:
+            self.stats.seconds = time.perf_counter() - started
         return expr
 
     def _bottom_up_pass(self, expr: ast.Expr) -> Tuple[ast.Expr, bool]:
@@ -133,7 +180,7 @@ class Phase:
             expr = expr.with_parts(new_children)
             changed = True
         for _ in range(self.MAX_LOCAL):
-            rewritten = self._apply_first(expr)
+            rewritten = self._apply(expr)
             if rewritten is None:
                 break
             expr = rewritten
@@ -141,12 +188,35 @@ class Phase:
         return expr, changed
 
     def _apply_first(self, expr: ast.Expr) -> Optional[ast.Expr]:
+        # progress is detected by identity, not structural equality: the
+        # rule contract (see Rule) is "None or a new node", so comparing
+        # whole subtrees on every firing would be pure overhead
         for rule in self.rules:
             result = rule.apply(expr)
-            if result is not None and result != expr:
+            if result is not None and result is not expr:
                 self.stats.applications += 1
                 self.stats.by_rule[rule.name] = (
                     self.stats.by_rule.get(rule.name, 0) + 1
+                )
+                return result
+        return None
+
+    def _apply_first_timed(self, expr: ast.Expr) -> Optional[ast.Expr]:
+        # the instrumented twin of _apply_first: one clock read per
+        # attempted rule, accumulated whether or not the rule fires
+        stats = self.stats
+        for rule in self.rules:
+            stats.attempts += 1
+            started = time.perf_counter()
+            result = rule.apply(expr)
+            stats.time_by_rule[rule.name] = (
+                stats.time_by_rule.get(rule.name, 0.0)
+                + time.perf_counter() - started
+            )
+            if result is not None and result is not expr:
+                stats.applications += 1
+                stats.by_rule[rule.name] = (
+                    stats.by_rule.get(rule.name, 0) + 1
                 )
                 return result
         return None
@@ -181,10 +251,20 @@ class Optimizer:
         """Dynamically inject an optimization rule (Section 4.1)."""
         self.phase(phase_name).rules.add(rule)
 
-    def optimize(self, expr: ast.Expr) -> ast.Expr:
-        """Run every phase in order."""
+    def optimize(self, expr: ast.Expr, tracer=NULL_TRACER) -> ast.Expr:
+        """Run every phase in order.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer` or the shared
+        null) wraps each phase in a span; an enabled tracer also turns
+        on the per-rule timing instrumentation of :meth:`Phase.run`.
+        """
+        instrument = tracer.enabled
         for phase in self.phases:
-            expr = phase.run(expr)
+            with tracer.span(f"phase:{phase.name}"):
+                expr = phase.run(expr, instrument=instrument)
+                if instrument:
+                    tracer.annotate(passes=phase.stats.passes,
+                                    firings=phase.stats.applications)
         return expr
 
     def report(self) -> Dict[str, PhaseStats]:

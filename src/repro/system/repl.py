@@ -9,7 +9,10 @@ Statements end with ``;`` and may span lines, like the paper's session::
 
 Commands: ``:quit`` exits, ``:macros`` lists registered macros,
 ``:readers`` / ``:writers`` list drivers, ``:noopt`` / ``:opt`` toggle
-the optimizer, ``:load FILE`` runs an AQL script into the session.
+the optimizer, ``:load FILE`` runs an AQL script into the session, and
+``:profile QUERY;`` runs a statement with observability on and prints
+the EXPLAIN report (optimized core, per-stage spans, rule firings,
+evaluator counters — see ``docs/OBSERVABILITY.md``).
 
 Non-interactive use: ``aql script.aql [more.aql ...]`` executes the
 scripts and exits (the paper's batch view of the same top level).
@@ -66,7 +69,10 @@ def main(argv=None) -> int:
             buffer = ""
             continue
         stripped = line.strip()
-        if not buffer and stripped.startswith(":"):
+        # ``:profile`` takes a statement, so it buffers like one and is
+        # interpreted by Session.run rather than the command dispatcher
+        if not buffer and stripped.startswith(":") \
+                and not stripped.startswith(":profile"):
             if stripped in (":quit", ":q"):
                 return 0
             if stripped == ":macros":

@@ -19,24 +19,32 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.core import ast
+from repro.core.printer import pprint
 from repro.env.environment import TopEnv
 from repro.errors import SessionError
+from repro.obs import ExplainReport
 from repro.objects.exchange import pretty
 from repro.surface.desugar import Desugarer
 from repro.surface.parser import parse_program
 from repro.surface import sast as S
 from repro.types.types import Type, TypeScheme, type_of_value
 
+#: the session-level profiling command recognized by :meth:`Session.run`
+PROFILE_PREFIX = ":profile"
+
 
 @dataclass
 class Output:
     """The result of executing one top-level statement."""
 
-    kind: str            # 'query' | 'val' | 'macro' | 'readval' | 'writeval'
+    kind: str            # 'query' | 'val' | 'macro' | 'readval' |
+                         # 'writeval' | 'profile'
     name: str            # bound name, or 'it' for bare queries
     type_text: str
     value: Any = None
     has_value: bool = False
+    #: the observability report attached by ``:profile``/``explain``
+    explain: Optional[ExplainReport] = None
 
     def render(self, limit: int = 12) -> str:
         """The paper-style echo lines."""
@@ -48,6 +56,8 @@ class Output:
                          f"registered as macro.")
         elif self.kind == "writeval":
             lines.append(f"val {self.name} written.")
+        if self.explain is not None:
+            lines.append(self.explain.render())
         return "\n".join(lines)
 
 
@@ -59,13 +69,27 @@ class Session:
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
         self._desugarer = Desugarer()
+        #: the optimized core of the most recent compilation (EXPLAIN)
+        self._last_core: Optional[ast.Expr] = None
 
     # -- statement execution -----------------------------------------------------
 
     def run(self, source: str) -> List[Output]:
-        """Execute a block of AQL statements; return their outputs."""
-        return [self.execute(statement)
-                for statement in parse_program(source)]
+        """Execute a block of AQL statements; return their outputs.
+
+        A leading ``:profile`` runs the remainder of the source with
+        observability enabled and attaches an
+        :class:`~repro.obs.ExplainReport` (pipeline spans, per-rule
+        firing stats with timings, evaluator counters) to the last
+        output.
+        """
+        stripped = source.lstrip()
+        if stripped.startswith(PROFILE_PREFIX):
+            return self.profile(stripped[len(PROFILE_PREFIX):])
+        tracer = self.env.obs.tracer
+        with tracer.span("parse"):
+            statements = parse_program(source)
+        return [self.execute(statement) for statement in statements]
 
     def run_script(self, source: str, echo: bool = False) -> List[str]:
         """Execute and render each statement (optionally printing)."""
@@ -81,14 +105,20 @@ class Session:
         """Evaluate a single query expression and return its value.
 
         A missing final ``;`` is forgiven (it is appended and the parse
-        retried), so one-off expressions read naturally.
+        retried), so one-off expressions read naturally.  When the
+        retry fails too, the *original* error is re-raised, so its
+        position refers to the source the caller actually wrote rather
+        than the silently modified retry text.
         """
         from repro.errors import ParseError
 
         try:
             statements = parse_program(source)
-        except ParseError:
-            statements = parse_program(source + ";")
+        except ParseError as original:
+            try:
+                statements = parse_program(source + ";")
+            except ParseError:
+                raise original from None
         outputs = [self.execute(statement) for statement in statements]
         last = outputs[-1]
         if not last.has_value:
@@ -116,12 +146,16 @@ class Session:
     # -- helpers ---------------------------------------------------------------------
 
     def _compile(self, surface: S.SExpr):
-        core = self._desugarer.desugar(surface)
-        return self.env.compile(core, optimize=self.optimize)
+        with self.env.obs.tracer.span("desugar"):
+            core = self._desugarer.desugar(surface)
+        compiled, inferred = self.env.compile(core, optimize=self.optimize)
+        self._last_core = compiled
+        return compiled, inferred
 
     def _query(self, surface: S.SExpr, name: str) -> Output:
         compiled, inferred = self._compile(surface)
-        value = self.env.evaluator().run(compiled)
+        with self.env.obs.tracer.span("evaluate"):
+            value = self.env.evaluator().run(compiled)
         return Output("query" if name == "it" else "val", name,
                       str(inferred), value, has_value=True)
 
@@ -144,6 +178,54 @@ class Session:
         writer(value, args_value)
         return Output("writeval", "it", str(inferred))
 
+    # -- observability (EXPLAIN / :profile) ----------------------------------------
+
+    def profile(self, source: str) -> List[Output]:
+        """Execute ``source`` with observability on; attach the report.
+
+        The last output carries an :class:`~repro.obs.ExplainReport`
+        covering the whole block (the optimizer stats and the rendered
+        core describe the block's final query).  The environment's
+        observability switch is restored afterwards, so profiling one
+        statement leaves an otherwise-uninstrumented session zero-cost.
+        """
+        obs = self.env.obs
+        was_enabled = obs.enabled
+        obs.enable()
+        try:
+            outputs = self.run(source)
+            if not outputs:
+                raise SessionError("nothing to profile")
+            spans = obs.tracer.finish()
+            last = outputs[-1]
+            last.explain = ExplainReport(
+                source=source.strip(),
+                type_text=last.type_text,
+                core_text=(pprint(self._last_core)
+                           if self._last_core is not None else ""),
+                spans=spans,
+                phase_stats=dict(self.env.optimizer.report()),
+                metrics=obs.metrics,
+                value=last.value,
+                has_value=last.has_value,
+            )
+            if last.kind == "query":
+                last.kind = "profile"
+            return outputs
+        finally:
+            if was_enabled:
+                obs.reset()
+            else:
+                obs.disable()
+
+    def explain(self, source: str) -> ExplainReport:
+        """The API form of ``:profile``: run one query instrumented and
+        return the :class:`~repro.obs.ExplainReport` directly."""
+        outputs = self.profile(source)
+        report = outputs[-1].explain
+        assert report is not None  # profile always attaches one
+        return report
+
     # -- the SML-side registration view (Section 4.1) ------------------------------
 
     def register_co(self, name: str, fn, signature: TypeScheme | Type,
@@ -156,4 +238,4 @@ def _scheme_text(scheme: TypeScheme) -> str:
     return str(scheme.body)
 
 
-__all__ = ["Session", "Output"]
+__all__ = ["Session", "Output", "PROFILE_PREFIX"]

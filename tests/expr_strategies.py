@@ -15,7 +15,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.core import ast
-from repro.types.types import TArray, TBool, TNat, TProduct, TSet, Type
+from repro.types.types import TArray, TBool, TNat, TProduct, TReal, TSet, Type
 
 #: variables available in generated expressions, with their types and
 #: the runtime bindings the tests supply
@@ -25,16 +25,22 @@ ENV_TYPES = {
     "b0": TBool(),
     "sn": TSet(TNat()),
     "an": TArray(TNat(), 1),
+    "r0": TReal(),
+    "sr": TSet(TReal()),
 }
 
 from repro.objects.array import Array  # noqa: E402
 
+#: the real-set values deliberately span magnitudes (1e15 vs 0.25) so a
+#: Σ over them is order-sensitive — exercising the canonical-order fix
 ENV_VALUES = {
     "n0": 2,
     "n1": 5,
     "b0": True,
     "sn": frozenset({1, 3, 4}),
     "an": Array.from_list([7, 2, 9, 4]),
+    "r0": 0.5,
+    "sr": frozenset({0.25, -2.75, 1.5, 1e15, -0.125}),
 }
 
 _fresh_counter = [0]
@@ -63,6 +69,10 @@ def expr_of(draw, target: Type, scope=None, depth: int = 3):
         if depth > 0:
             choices += ["arith", "if", "sum", "len", "subscript-nat",
                         "get-nat"]
+    elif isinstance(target, TReal):
+        choices.append("real-lit")
+        if depth > 0:
+            choices += ["arith-real", "if", "sum-real", "get-real"]
     elif isinstance(target, TBool):
         choices.append("bool-lit")
         if depth > 0:
@@ -92,9 +102,26 @@ def expr_of(draw, target: Type, scope=None, depth: int = 3):
         return ast.NatLit(draw(st.integers(0, 6)))
     if choice == "bool-lit":
         return ast.BoolLit(draw(st.booleans()))
+    if choice == "real-lit":
+        # dyadic fractions over a wide magnitude range: exactly
+        # representable, and order-sensitive under float addition
+        mantissa = draw(st.integers(-64, 64))
+        exponent = draw(st.integers(-4, 40))
+        return ast.RealLit(float(mantissa) * 2.0 ** exponent)
     if choice == "arith":
         op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
         return ast.Arith(op, recur(TNat()), recur(TNat()))
+    if choice == "arith-real":
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        return ast.Arith(op, recur(TReal()), recur(TReal()))
+    if choice == "sum-real":
+        var = _fresh("s")
+        inner = dict(scope)
+        inner[var] = TReal()
+        body = draw(expr_of(TReal(), inner, depth - 1))
+        return ast.Sum(var, body, recur(TSet(TReal())))
+    if choice == "get-real":
+        return ast.Get(recur(TSet(TReal())))
     if choice == "if":
         return ast.If(recur(TBool()), recur(target), recur(target))
     if choice == "sum":
@@ -154,7 +181,9 @@ def expr_of(draw, target: Type, scope=None, depth: int = 3):
 TARGETS = [
     TNat(),
     TBool(),
+    TReal(),
     TSet(TNat()),
+    TSet(TReal()),
     TArray(TNat(), 1),
     TSet(TProduct((TNat(), TBool()))),
     TProduct((TNat(), TSet(TNat()))),

@@ -17,13 +17,17 @@ from repro.core import ast
 from repro.core.compile import run_compiled
 from repro.core.eval import evaluate
 from repro.core.typecheck import TypeChecker
-from repro.errors import BottomError
+from repro.env.environment import TopEnv
+from repro.errors import AQLError, BottomError
 from repro.objects.exchange import dumps, loads
 from repro.optimizer.engine import default_optimizer
 from repro.types.types import TypeScheme
 from repro.types.unify import instantiate, unify
 
 from expr_strategies import ENV_TYPES, ENV_VALUES, typed_exprs
+
+#: hypothesis-heavy; excluded from the quick CI lane (-m "not slow")
+pytestmark = pytest.mark.slow
 
 _SETTINGS = settings(
     max_examples=120,
@@ -94,3 +98,23 @@ class TestFuzz:
         assert ast.alpha_equal(expr, expr)
         # substitution with an empty map is identity
         assert ast.substitute(expr, {}) == expr
+
+
+#: one standard environment with the fuzz bindings installed as vals,
+#: shared across examples (resolution substitutes them as constants)
+_PIPELINE_ENV = TopEnv.standard()
+for _name, _value in ENV_VALUES.items():
+    _PIPELINE_ENV.set_val(_name, _value)
+
+
+class TestFullPipelineFuzz:
+    @given(pair=typed_exprs())
+    @_SETTINGS
+    def test_only_calculus_errors_escape_the_pipeline(self, pair):
+        """resolve → typecheck → optimize → evaluate never leaks a host
+        exception: every failure is an AQLError (⊥ included)."""
+        expr, _ = pair
+        try:
+            _PIPELINE_ENV.evaluate(expr)
+        except AQLError:
+            pass  # ⊥ and friends are the calculus's own business

@@ -488,6 +488,26 @@ class CompiledEvaluator:
         self.probe = probe
         self._cache: Dict[int, Tuple[Tuple[str, ...], Code]] = {}
 
+    def prepare(self, expr: ast.Expr,
+                names: Tuple[str, ...] = ()) -> Code:
+        """Compile ``expr`` now (cached) and return the generated code.
+
+        ``run`` does this lazily on first evaluation; ``prepare`` exists
+        so a plan cache can pay code generation once at plan-build time
+        and have every subsequent hit go straight to execution.
+        """
+        cached = self._cache.get(id(expr))
+        if cached is not None and cached[0] == names:
+            return cached[1]
+        try:
+            code = self.compiler.compile(expr, names)
+        except RecursionError:
+            raise EvalError(
+                "expression nesting exceeds the evaluator depth limit"
+            ) from None
+        self._cache[id(expr)] = (names, code)
+        return code
+
     def run(self, expr: ast.Expr,
             bindings: Optional[Mapping[str, Any]] = None) -> Any:
         """Compile (cached) and evaluate with the given value bindings.
@@ -499,13 +519,8 @@ class CompiledEvaluator:
         :class:`~repro.errors.EvalError`.
         """
         names = tuple(sorted(bindings)) if bindings else ()
-        cached = self._cache.get(id(expr))
+        code = self.prepare(expr, names)
         try:
-            if cached is not None and cached[0] == names:
-                code = cached[1]
-            else:
-                code = self.compiler.compile(expr, names)
-                self._cache[id(expr)] = (names, code)
             env = [bindings[name] for name in names] if bindings else []
             return code(env)
         except RecursionError:

@@ -20,7 +20,7 @@ plus the optimizer, whose rule bases are extensible through
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import ast
 from repro.core.eval import Evaluator
@@ -55,6 +55,14 @@ class TopEnv:
         #: (Section 4.1's openness applied to measurement); disabled by
         #: default, in which case every instrument is the zero-cost null
         self.obs = Observability(enabled=observe)
+        # mutation accounting for plan-cache invalidation: structural
+        # registrations bump the global generation, val (re)bindings a
+        # per-name one, and listeners hear about every mutation
+        self._generation = 0
+        self._val_generations: Dict[str, int] = {}
+        self._mutation_listeners: List[
+            Callable[[str, Optional[str]], None]
+        ] = []
 
     # -- construction -----------------------------------------------------------
 
@@ -78,6 +86,37 @@ class TopEnv:
                                desugarer.desugar(statement.expr))
         return env
 
+    # -- mutation accounting (plan-cache invalidation) ---------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every structural registration
+        (primitive, macro, or optimization rule); cached plans compiled
+        under an older generation are stale."""
+        return self._generation
+
+    def val_generation(self, name: str) -> int:
+        """How many times ``name`` has been (re)bound via :meth:`set_val`
+        (0 if never); lets caches invalidate only the plans that
+        reference a rebound name."""
+        return self._val_generations.get(name, 0)
+
+    def add_mutation_listener(
+            self, listener: Callable[[str, Optional[str]], None]) -> None:
+        """Subscribe ``listener(kind, name)`` to every environment
+        mutation (kinds: ``primitive``/``macro``/``rule``/``val``); used
+        by sessions for eager plan-cache invalidation."""
+        self._mutation_listeners.append(listener)
+
+    def _note_mutation(self, kind: str, name: Optional[str] = None) -> None:
+        if kind == "val":
+            self._val_generations[name] = \
+                self._val_generations.get(name, 0) + 1
+        else:
+            self._generation += 1
+        for listener in self._mutation_listeners:
+            listener(kind, name)
+
     # -- registration (Section 4.1) ------------------------------------------------
 
     def register_primitive(self, name: str,
@@ -91,6 +130,7 @@ class TopEnv:
             signature = generalize(signature, {})
         self._prim_impls[name] = impl
         self._prim_schemes[name] = signature
+        self._note_mutation("primitive", name)
 
     def register_co(self, name: str, fn: Callable[[Any], Any],
                     signature: TypeScheme | Type,
@@ -115,15 +155,18 @@ class TopEnv:
         except TypeCheckError as exc:
             raise TypeCheckError(f"in macro {name!r}: {exc}") from exc
         self._macros[name] = (resolved, sig)
+        self._note_mutation("macro", name)
         return sig
 
     def register_rule(self, phase: str, rule: Rule) -> None:
         """Inject an optimization rule into a named phase."""
         self.optimizer.register_rule(phase, rule)
+        self._note_mutation("rule", getattr(rule, "name", None))
 
     def set_val(self, name: str, value: Any) -> None:
         """Bind a complex-object value (``val``/``readval`` declarations)."""
         self._vals[name] = value
+        self._note_mutation("val", name)
 
     def get_val(self, name: str) -> Any:
         """The value bound to ``name`` (KeyError if unbound)."""
@@ -191,6 +234,24 @@ class TopEnv:
 
             return CompiledEvaluator(self._prim_impls, probe=probe)
         return Evaluator(self._prim_impls, probe=probe)
+
+    def plan_evaluator(self):
+        """An *uninstrumented* evaluator suitable for caching inside a
+        query plan, or None when the backend has no reusable state.
+
+        Only the "compiled" backend benefits: a cached
+        :class:`~repro.core.compile.CompiledEvaluator` keeps the
+        generated closure, so a plan-cache hit skips code generation
+        entirely.  (The interpreter walks the AST per run; there is
+        nothing to keep.)  Cached evaluators are deliberately built
+        without a probe — an observed run re-generates probed code so
+        instrumentation never leaks into the fast path.
+        """
+        if self.backend != "compiled":
+            return None
+        from repro.core.compile import CompiledEvaluator
+
+        return CompiledEvaluator(self._prim_impls)
 
     def compile(self, expr: ast.Expr,
                 optimize: bool = True) -> Tuple[ast.Expr, Type]:

@@ -62,6 +62,20 @@ class Observability:
             self.metrics = EvalMetrics()
         return self
 
+    def capture(self):
+        """Snapshot ``(enabled, tracer, metrics)`` for later :meth:`restore`.
+
+        Lets ``:profile`` instrument one statement with fresh
+        instruments and then hand back the caller's own tracer and
+        accumulated counters untouched.
+        """
+        return (self.enabled, self.tracer, self.metrics)
+
+    def restore(self, state) -> "Observability":
+        """Reinstate a :meth:`capture` snapshot exactly; returns self."""
+        self.enabled, self.tracer, self.metrics = state
+        return self
+
 
 __all__ = [
     "EvalMetrics",

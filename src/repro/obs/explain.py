@@ -9,7 +9,9 @@ answering one query:
   phase, and evaluation;
 * per-phase rule-firing statistics (counts *and* cumulative rule
   timings, from :class:`~repro.optimizer.engine.PhaseStats`);
-* the evaluator counters (:class:`~repro.obs.metrics.EvalMetrics`).
+* the evaluator counters (:class:`~repro.obs.metrics.EvalMetrics`);
+* the session's plan-cache counters (hits/misses/evictions/
+  invalidations — see ``docs/PLAN_CACHE.md``), when a cache is in play.
 
 ``render()`` produces the REPL's ``:profile`` text; ``to_dict()`` is the
 JSON schema (documented in ``docs/OBSERVABILITY.md``) that
@@ -35,6 +37,8 @@ class ExplainReport:
     spans: Optional[Span] = None
     phase_stats: Dict[str, Any] = field(default_factory=dict)
     metrics: Optional[EvalMetrics] = None
+    #: plan-cache occupancy + counters (``PlanCache.snapshot()``)
+    cache: Optional[Dict[str, Any]] = None
     value: Any = None
     has_value: bool = False
 
@@ -62,6 +66,8 @@ class ExplainReport:
             }
         if self.metrics is not None:
             payload["metrics"] = self.metrics.to_dict()
+        if self.cache is not None:
+            payload["plan_cache"] = dict(self.cache)
         return payload
 
     def render(self) -> str:
@@ -81,6 +87,8 @@ class ExplainReport:
         if self.metrics is not None:
             sections += ["", "== evaluator counters ==",
                          self.metrics.render()]
+        if self.cache is not None:
+            sections += ["", "== plan cache ==", _render_cache(self.cache)]
         return "\n".join(sections)
 
 
@@ -99,6 +107,16 @@ def _render_span_tree(root: Span, indent: str = "  ") -> str:
         lines.append(f"{indent * max(offset, 0)}{span.name:<24s} "
                      f"{span.seconds * 1e3:9.3f} ms{extra}")
     return "\n".join(lines)
+
+
+def _render_cache(cache: Dict[str, Any]) -> str:
+    """The plan-cache occupancy and counter lines."""
+    return (f"entries               {cache.get('entries', 0)}"
+            f"/{cache.get('capacity', 0)}\n"
+            f"hits {cache.get('hits', 0)}  "
+            f"misses {cache.get('misses', 0)}  "
+            f"evictions {cache.get('evictions', 0)}  "
+            f"invalidations {cache.get('invalidations', 0)}")
 
 
 def _render_phase(name: str, stats: Any) -> str:

@@ -9,10 +9,12 @@ Statements end with ``;`` and may span lines, like the paper's session::
 
 Commands: ``:quit`` exits, ``:macros`` lists registered macros,
 ``:readers`` / ``:writers`` list drivers, ``:noopt`` / ``:opt`` toggle
-the optimizer, ``:load FILE`` runs an AQL script into the session, and
-``:profile QUERY;`` runs a statement with observability on and prints
-the EXPLAIN report (optimized core, per-stage spans, rule firings,
-evaluator counters — see ``docs/OBSERVABILITY.md``).
+the optimizer, ``:load FILE`` runs an AQL script into the session,
+``:cache`` prints the plan-cache occupancy and counters (``:cache
+clear`` empties it — see ``docs/PLAN_CACHE.md``), and ``:profile
+QUERY;`` runs a statement with observability on and prints the EXPLAIN
+report (optimized core, per-stage spans, rule firings, evaluator
+counters — see ``docs/OBSERVABILITY.md``).
 
 Non-interactive use: ``aql script.aql [more.aql ...]`` executes the
 scripts and exits (the paper's batch view of the same top level).
@@ -94,6 +96,13 @@ def main(argv=None) -> int:
                 continue
             if stripped.startswith(":load "):
                 run_file(session, stripped[len(":load "):].strip())
+                continue
+            if stripped == ":cache":
+                print(session.plan_cache.render())
+                continue
+            if stripped == ":cache clear":
+                session.plan_cache.clear()
+                print("plan cache cleared")
                 continue
             print(f"unknown command {stripped!r}")
             continue

@@ -6,6 +6,13 @@ the query-processing pipeline of Section 4.1:
     parse → desugar (Figure 2) → resolve (macro substitution, vals,
     primitives) → typecheck (Figure 1) → optimize (Section 5) → evaluate
 
+with one serving-path refinement: compilation results are memoized in a
+per-session :class:`~repro.system.plan_cache.PlanCache`, so a repeated
+query (the million-user serving path) skips resolve → typecheck →
+optimize — and, on the compiled backend, code generation — and goes
+straight to evaluation.  Environment mutations invalidate affected
+plans (see ``docs/PLAN_CACHE.md``).
+
 Each statement yields an :class:`Output` that renders exactly like the
 paper's sample session::
 
@@ -27,6 +34,7 @@ from repro.objects.exchange import pretty
 from repro.surface.desugar import Desugarer
 from repro.surface.parser import parse_program
 from repro.surface import sast as S
+from repro.system.plan_cache import DEFAULT_CAPACITY, Plan, PlanCache
 from repro.types.types import Type, TypeScheme, type_of_value
 
 #: the session-level profiling command recognized by :meth:`Session.run`
@@ -65,27 +73,42 @@ class Session:
     """An AQL top-level session over a :class:`~repro.env.TopEnv`."""
 
     def __init__(self, env: Optional[TopEnv] = None, optimize: bool = True,
-                 backend: str = "interpreter"):
+                 backend: str = "interpreter",
+                 plan_cache_capacity: int = DEFAULT_CAPACITY):
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
         self._desugarer = Desugarer()
         #: the optimized core of the most recent compilation (EXPLAIN)
         self._last_core: Optional[ast.Expr] = None
+        #: the compiled-query plan cache (``plan_cache_capacity=0``
+        #: disables caching entirely)
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.env.add_mutation_listener(self.plan_cache.on_env_mutation)
 
     # -- statement execution -----------------------------------------------------
 
     def run(self, source: str) -> List[Output]:
         """Execute a block of AQL statements; return their outputs.
 
-        A leading ``:profile`` runs the remainder of the source with
-        observability enabled and attaches an
-        :class:`~repro.obs.ExplainReport` (pipeline spans, per-rule
-        firing stats with timings, evaluator counters) to the last
-        output.
+        A leading ``:profile`` (delimited by whitespace or end of
+        source) runs the remainder of the source with observability
+        enabled and attaches an :class:`~repro.obs.ExplainReport`
+        (pipeline spans, per-rule firing stats with timings, evaluator
+        counters, plan-cache counters) to the last output.  Any other
+        leading ``:``-command is rejected with a :class:`SessionError`
+        — AQL statements never start with ``:``, so a stray ``:typo``
+        cannot silently run as a query.
         """
         stripped = source.lstrip()
-        if stripped.startswith(PROFILE_PREFIX):
-            return self.profile(stripped[len(PROFILE_PREFIX):])
+        if stripped.startswith(":"):
+            head = stripped.split(maxsplit=1)
+            command, rest = head[0], (head[1] if len(head) > 1 else "")
+            if command == PROFILE_PREFIX:
+                return self.profile(rest)
+            raise SessionError(
+                f"unknown command {command!r} (sessions accept AQL "
+                f"statements and the {PROFILE_PREFIX} prefix)"
+            )
         tracer = self.env.obs.tracer
         with tracer.span("parse"):
             statements = parse_program(source)
@@ -119,6 +142,10 @@ class Session:
                 statements = parse_program(source + ";")
             except ParseError:
                 raise original from None
+        if not statements:
+            raise SessionError(
+                "empty source: nothing to evaluate"
+            )
         outputs = [self.execute(statement) for statement in statements]
         last = outputs[-1]
         if not last.has_value:
@@ -143,26 +170,76 @@ class Session:
             return self._writeval(statement)
         raise SessionError(f"unknown statement {statement!r}")
 
+    # -- compilation (plan-cache aware) --------------------------------------------
+
+    def prepare(self, core: ast.Expr) -> Plan:
+        """Compile a core expression into an executable :class:`Plan`,
+        consulting the plan cache first.
+
+        A hit returns the stored optimized core (plus, on the compiled
+        backend, the already-generated closure) without running
+        resolve, typecheck, optimize, or codegen; a miss runs the full
+        pipeline and records the result.  Cache keying and invalidation
+        are described in :mod:`repro.system.plan_cache`.
+        """
+        env, cache = self.env, self.plan_cache
+        if not cache.enabled:
+            compiled, inferred = env.compile(core, optimize=self.optimize)
+            return Plan(compiled, inferred)
+        tracer = env.obs.tracer
+        with tracer.span("plan_cache"):
+            key = cache.key_for(core, self.optimize, env.backend)
+            entry = cache.lookup(key, env)
+            tracer.annotate(hit=entry is not None, entries=len(cache))
+        if entry is not None:
+            return Plan(entry.core, entry.inferred, cached=True,
+                        evaluator=entry.evaluator)
+        compiled, inferred = env.compile(core, optimize=self.optimize)
+        evaluator = env.plan_evaluator()
+        if evaluator is not None:
+            with tracer.span("codegen"):
+                evaluator.prepare(compiled)
+        cache.insert(key, compiled, inferred, ast.free_vars(core), env,
+                     evaluator)
+        return Plan(compiled, inferred)
+
     # -- helpers ---------------------------------------------------------------------
 
-    def _compile(self, surface: S.SExpr):
+    def _compile(self, surface: S.SExpr, record: bool = True) -> Plan:
+        """Desugar + :meth:`prepare`; ``record=False`` leaves
+        ``_last_core`` (the EXPLAIN state) untouched, so auxiliary
+        expressions — a driver's args — never clobber the statement's
+        query core."""
         with self.env.obs.tracer.span("desugar"):
             core = self._desugarer.desugar(surface)
-        compiled, inferred = self.env.compile(core, optimize=self.optimize)
-        self._last_core = compiled
-        return compiled, inferred
+        plan = self.prepare(core)
+        if record:
+            self._last_core = plan.core
+        return plan
+
+    def _evaluate(self, plan: Plan) -> Any:
+        """Run a plan to a value inside the ``evaluate`` span.
+
+        The cached closure is used only on the unobserved fast path; an
+        instrumented run regenerates probed code through the
+        environment's evaluator so counters stay accurate.
+        """
+        env = self.env
+        with env.obs.tracer.span("evaluate"):
+            if plan.evaluator is not None and not env.obs.enabled:
+                return plan.evaluator.run(plan.core)
+            return env.evaluator().run(plan.core)
 
     def _query(self, surface: S.SExpr, name: str) -> Output:
-        compiled, inferred = self._compile(surface)
-        with self.env.obs.tracer.span("evaluate"):
-            value = self.env.evaluator().run(compiled)
+        plan = self._compile(surface)
+        value = self._evaluate(plan)
         return Output("query" if name == "it" else "val", name,
-                      str(inferred), value, has_value=True)
+                      str(plan.inferred), value, has_value=True)
 
     def _readval(self, statement: S.ReadVal) -> Output:
         reader = self.env.drivers.reader(statement.reader)
-        compiled, _ = self._compile(statement.args)
-        args_value = self.env.evaluator().run(compiled)
+        plan = self._compile(statement.args)
+        args_value = self._evaluate(plan)
         value = reader(args_value)
         self.env.set_val(statement.name, value)
         value_type = type_of_value(value)
@@ -171,12 +248,12 @@ class Session:
 
     def _writeval(self, statement: S.WriteVal) -> Output:
         writer = self.env.drivers.writer(statement.writer)
-        compiled, inferred = self._compile(statement.expr)
-        value = self.env.evaluator().run(compiled)
-        args_compiled, _ = self._compile(statement.args)
-        args_value = self.env.evaluator().run(args_compiled)
+        plan = self._compile(statement.expr)
+        value = self._evaluate(plan)
+        args_plan = self._compile(statement.args, record=False)
+        args_value = self._evaluate(args_plan)
         writer(value, args_value)
-        return Output("writeval", "it", str(inferred))
+        return Output("writeval", "it", str(plan.inferred))
 
     # -- observability (EXPLAIN / :profile) ----------------------------------------
 
@@ -186,11 +263,13 @@ class Session:
         The last output carries an :class:`~repro.obs.ExplainReport`
         covering the whole block (the optimizer stats and the rendered
         core describe the block's final query).  The environment's
-        observability switch is restored afterwards, so profiling one
-        statement leaves an otherwise-uninstrumented session zero-cost.
+        observability state is captured up front and restored exactly
+        afterwards: an uninstrumented session returns to zero-cost
+        nulls, and a caller that had observability on gets its own
+        tracer and accumulated counters back untouched.
         """
         obs = self.env.obs
-        was_enabled = obs.enabled
+        saved = obs.capture()
         obs.enable()
         try:
             outputs = self.run(source)
@@ -206,6 +285,7 @@ class Session:
                 spans=spans,
                 phase_stats=dict(self.env.optimizer.report()),
                 metrics=obs.metrics,
+                cache=self.plan_cache.snapshot(),
                 value=last.value,
                 has_value=last.has_value,
             )
@@ -213,10 +293,7 @@ class Session:
                 last.kind = "profile"
             return outputs
         finally:
-            if was_enabled:
-                obs.reset()
-            else:
-                obs.disable()
+            obs.restore(saved)
 
     def explain(self, source: str) -> ExplainReport:
         """The API form of ``:profile``: run one query instrumented and

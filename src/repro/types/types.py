@@ -231,7 +231,16 @@ def _elem_type(items: Iterable[Any]) -> Type:
     items = list(items)
     if not items:
         return fresh_tvar()
-    return type_of_value(items[0])
+    # unify across ALL elements, not just the first: heterogeneous-depth
+    # collections like {{}, {{}}} are well-typed ({α} ~ {{β}} gives
+    # {{β}}), and collection iteration order must not affect the result
+    from repro.types.unify import unify, zonk
+
+    subst: Dict[int, Type] = {}
+    elem = type_of_value(items[0])
+    for item in items[1:]:
+        unify(elem, type_of_value(item), subst)
+    return zonk(elem, subst)
 
 
 __all__ = [

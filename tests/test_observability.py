@@ -184,6 +184,21 @@ class TestSessionProfile:
         assert not session.env.obs.enabled
         assert session.env.obs.tracer is NULL_TRACER
 
+    def test_profile_preserves_callers_instruments(self, session):
+        # a caller that already instrumented the session must get its
+        # own tracer and accumulated counters back, not fresh ones
+        obs = session.env.obs
+        obs.enable()
+        session.query_value("summap(fn \\x => x)!(gen!4);")
+        tracer, metrics = obs.tracer, obs.metrics
+        counted = metrics.node_evals
+        assert counted > 0
+        session.run(":profile 1 + 1;")
+        assert obs.enabled
+        assert obs.tracer is tracer
+        assert obs.metrics is metrics
+        assert obs.metrics.node_evals == counted
+
     def test_profile_render_sections(self, session):
         report = session.explain("summap(fn \\x => x)!(gen!3);")
         text = report.render()

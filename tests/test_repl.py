@@ -70,6 +70,17 @@ class TestCommands:
         _, out = drive(monkeypatch, capsys, [":wat"])
         assert "unknown command" in out
 
+    def test_cache_reports_hits(self, monkeypatch, capsys):
+        _, out = drive(monkeypatch, capsys, ["1 + 1;", "1 + 1;", ":cache"])
+        assert "plan cache" in out
+        assert "hits 1" in out
+
+    def test_cache_clear(self, monkeypatch, capsys):
+        _, out = drive(monkeypatch, capsys,
+                       ["1 + 1;", ":cache clear", ":cache"])
+        assert "plan cache cleared" in out
+        assert "plan cache: 0/" in out
+
 
 class TestErrorRecovery:
     def test_parse_error_reported_and_loop_continues(self, monkeypatch,

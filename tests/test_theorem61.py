@@ -69,6 +69,14 @@ class TestObjectEncoding:
         encoded = encode_object(v)
         assert decode_object(encoded, type_of_value(v)) == v
 
+    def test_roundtrip_heterogeneous_depth_set(self):
+        # {∅, {∅}} is well-typed ({α} unifies with {{β}}), but
+        # type_of_value used to type the set from its *first* element
+        # only — under unlucky frozenset iteration order the decoder
+        # then met an empty set at a supposed base type
+        v = frozenset([frozenset(), frozenset([frozenset()])])
+        assert decode_object(encode_object(v), type_of_value(v)) == v
+
     def test_empty_set_vs_bottom_distinguished_by_flag(self):
         defined_empty = encode_object(frozenset())
         undefined = encode_object(None)

@@ -168,3 +168,15 @@ class TestTypeOfValue:
         t = type_of_value(frozenset())
         assert isinstance(t, TSet)
         assert t.elem.__class__.__name__ == "TVar"
+
+    def test_element_types_unified_across_collection(self):
+        # the element type must not depend on iteration order: in
+        # {∅, {1}} the empty element's fresh variable unifies with {nat}
+        t = type_of_value(frozenset([frozenset(), frozenset({1})]))
+        assert t == TSet(TSet(TNat()))
+
+    def test_heterogeneous_depth_set_types_fully(self):
+        t = type_of_value(frozenset([frozenset(), frozenset([frozenset()])]))
+        assert isinstance(t, TSet)
+        assert isinstance(t.elem, TSet)
+        assert isinstance(t.elem.elem, TSet)  # {α} ~ {{β}} gives {{β}}

@@ -57,14 +57,18 @@ def evaluator(std_env) -> Evaluator:
 def bench_record(request):
     """Record observability data for the current benchmark.
 
-    Returns a callable ``record(seconds=None, explain=None, **extra)``;
-    ``explain`` may be an :class:`~repro.obs.ExplainReport` (stored via
-    its ``to_dict()`` JSON schema) and ``extra`` any JSON-safe values.
+    Returns a callable ``record(seconds=None, explain=None, file=None,
+    **extra)``; ``explain`` may be an :class:`~repro.obs.ExplainReport`
+    (stored via its ``to_dict()`` JSON schema) and ``extra`` any
+    JSON-safe values.  Records normally land in ``BENCH_<module>.json``;
+    ``file`` overrides the target (e.g. ``file="vector_backend"`` →
+    ``BENCH_vector_backend.json``) so one module can feed a dedicated
+    artifact that CI tracks separately.
     """
     module = request.node.module.__name__
 
     def record(seconds: float = None, explain: Any = None,
-               **extra: Any) -> None:
+               file: str = None, **extra: Any) -> None:
         entry: Dict[str, Any] = dict(extra)
         if seconds is not None:
             entry["seconds"] = seconds
@@ -77,7 +81,8 @@ def bench_record(request):
             if len(core) > 2000:
                 payload["core"] = core[:2000] + f"... [{len(core)} chars]"
             entry["explain"] = payload
-        _RECORDS.setdefault(module, {})[request.node.name] = entry
+        target = f"bench_{file}" if file is not None else module
+        _RECORDS.setdefault(target, {})[request.node.name] = entry
 
     return record
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core import ast
+from repro.core import kernels
 from repro.core.eval import NativePrim, apply_arith, index_set
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
@@ -257,9 +258,17 @@ class Compiler:
         body = self.compile(expr.body, scope + expr.vars)
         rank = expr.rank
         probe = self.probe
+        # kernel recognition happens once, at compile time; the emitted
+        # code still decides per run (numpy may be toggled, extents and
+        # input values vary) and falls through to the scalar loop
+        kernel = kernels.recognize(expr)
+        input_codes: List[Code] = []
+        if kernel is not None:
+            input_codes = [self.compile(leaf, scope) for leaf in kernel.inputs]
 
         def run(env):
             extents = []
+            total = 1
             for code in bounds:
                 value = code(env)
                 if not isinstance(value, int) or isinstance(value, bool) \
@@ -268,6 +277,16 @@ class Compiler:
                         f"tabulation bound {value!r} is not natural"
                     )
                 extents.append(value)
+                total *= value
+            if (kernel is not None and total >= kernels.MIN_CELLS
+                    and kernels.available()):
+                result = kernels.execute(
+                    kernel, extents, [code(env) for code in input_codes]
+                )
+                if result is not None:
+                    if probe is not None:
+                        probe.on_cells_vectorized(result.size)
+                    return result
             if rank == 1:
                 values = [body(env + [i]) for i in range(extents[0])]
             else:

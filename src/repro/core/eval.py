@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core import ast
+from repro.core import kernels
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
@@ -91,6 +92,9 @@ class Evaluator:
                  probe: Any = None):
         self.prims: Dict[str, NativePrim] = dict(prims or {})
         self.probe = probe
+        #: memoized kernel recognition, keyed by node identity (the node
+        #: itself is kept so the id cannot be recycled under us)
+        self._kernel_cache: Dict[int, tuple] = {}
         if probe is not None:
             # instance attribute shadows the method: every interior
             # self._eval call routes through the counting wrapper
@@ -261,11 +265,19 @@ class Evaluator:
 
     def _tabulate(self, expr: ast.Tabulate, env):
         bounds = []
+        total = 1
         for bound in expr.bounds:
             value = self._eval(bound, env)
             if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 raise BottomError(f"tabulation bound {value!r} is not natural")
             bounds.append(value)
+            total *= value
+        if total >= kernels.MIN_CELLS and kernels.available():
+            result = self._tabulate_vectorized(expr, env, bounds)
+            if result is not None:
+                if self.probe is not None:
+                    self.probe.on_cells_vectorized(result.size)
+                return result
         values = []
         for index in iter_indices(bounds):
             inner = env
@@ -275,6 +287,32 @@ class Evaluator:
         if self.probe is not None:
             self.probe.on_cells(len(values))
         return Array(bounds, values)
+
+    def _tabulate_vectorized(self, expr: ast.Tabulate, env,
+                             bounds) -> Optional[Array]:
+        """Try the numpy fast path; ``None`` means run the scalar loop.
+
+        Recognition is memoized per node; input resolution failures
+        (e.g. an unbound variable, which the scalar loop would also hit
+        on its first cell) simply decline so the scalar loop raises the
+        canonical error itself.
+        """
+        entry = self._kernel_cache.get(id(expr))
+        if entry is None or entry[0] is not expr:
+            entry = (expr, kernels.recognize(expr))
+            self._kernel_cache[id(expr)] = entry
+        kernel = entry[1]
+        if kernel is None:
+            return None
+        try:
+            inputs = [
+                Env.lookup(env, leaf.name) if isinstance(leaf, ast.Var)
+                else leaf.value
+                for leaf in kernel.inputs
+            ]
+        except EvalError:
+            return None
+        return kernels.execute(kernel, bounds, inputs)
 
     def _subscript(self, expr: ast.Subscript, env):
         array = self._eval(expr.array, env)

@@ -45,7 +45,7 @@ class Array:
     nest freely (``{[[t]]_k}`` is a type).
     """
 
-    __slots__ = ("_dims", "_flat", "_strides", "_hash")
+    __slots__ = ("_dims", "_flat", "_strides", "_hash", "_dense")
 
     def __init__(self, dims: Sequence[int], values: Iterable[Any]):
         dims_t = tuple(int(d) for d in dims)
@@ -65,6 +65,9 @@ class Array:
         self._flat = flat
         self._strides = _row_major_strides(dims_t)
         self._hash: int | None = None
+        #: lazily-built dense numeric block (see repro.core.kernels);
+        #: None = not probed yet, False = not densely numeric
+        self._dense: Any = None
 
     # -- constructors ------------------------------------------------------
 
@@ -79,16 +82,26 @@ class Array:
         """Build a ``rank``-dimensional array from nested Python sequences.
 
         The nesting must be rectangular; raggedness raises ``ValueError``.
+        Once a level is empty there is nothing left to probe, so every
+        remaining dimension defaults to 0 — ``from_nested([], 2)`` is the
+        rank-2 empty array with dims ``(0, 0)``.
         """
         if rank < 1:
             raise ValueError("rank must be >= 1")
         dims: list[int] = []
         probe: Any = nested
+        exhausted = False
         for level in range(rank):
+            if exhausted:
+                dims.append(0)
+                continue
             if not isinstance(probe, (list, tuple)):
                 raise ValueError(f"expected nesting depth {rank}, ran out at {level}")
             dims.append(len(probe))
-            probe = probe[0] if len(probe) > 0 else None
+            if len(probe) > 0:
+                probe = probe[0]
+            else:
+                exhausted = True
         flat: list[Any] = []
 
         def walk(node: Any, level: int) -> None:

@@ -36,6 +36,12 @@ class EvalProbe:
     def on_cells(self, count: int) -> None:
         """A tabulation (or array literal) materialized ``count`` cells."""
 
+    def on_cells_vectorized(self, count: int) -> None:
+        """A tabulation produced ``count`` cells via the numpy kernel
+        backend (:mod:`repro.core.kernels`) instead of the scalar loop.
+        Disjoint from :meth:`on_cells` — a tabulation reports into
+        exactly one of the two."""
+
     def on_index(self, cells: int, groups: int, pairs: int) -> None:
         """An ``index_k`` built ``cells`` cells grouping ``pairs`` pairs
         into ``groups`` non-empty groups."""
@@ -51,7 +57,8 @@ class EvalMetrics(EvalProbe):
     """Counter-collecting probe; one instance per observed run."""
 
     __slots__ = ("node_evals", "nodes_by_class", "cells_materialized",
-                 "tabulations", "index_groupbys", "index_cells",
+                 "cells_vectorized", "tabulations", "tabulations_vectorized",
+                 "index_groupbys", "index_cells",
                  "index_groups", "index_pairs", "max_group_size",
                  "bottom_raises", "bottom_reasons", "collections_touched",
                  "collection_elements", "max_collection_size")
@@ -60,7 +67,9 @@ class EvalMetrics(EvalProbe):
         self.node_evals = 0
         self.nodes_by_class: Dict[str, int] = {}
         self.cells_materialized = 0
+        self.cells_vectorized = 0
         self.tabulations = 0
+        self.tabulations_vectorized = 0
         self.index_groupbys = 0
         self.index_cells = 0
         self.index_groups = 0
@@ -83,6 +92,11 @@ class EvalMetrics(EvalProbe):
         """Count one materializing construct and its cells."""
         self.tabulations += 1
         self.cells_materialized += count
+
+    def on_cells_vectorized(self, count: int) -> None:
+        """Count one numpy-backed tabulation and its cells."""
+        self.tabulations_vectorized += 1
+        self.cells_vectorized += count
 
     def on_index(self, cells: int, groups: int, pairs: int) -> None:
         """Count one ``index_k`` group-by and its sizes."""
@@ -118,7 +132,9 @@ class EvalMetrics(EvalProbe):
                        key=lambda kv: (-kv[1], kv[0]))
             ),
             "cells_materialized": self.cells_materialized,
+            "cells_vectorized": self.cells_vectorized,
             "tabulations": self.tabulations,
+            "tabulations_vectorized": self.tabulations_vectorized,
             "index_groupbys": self.index_groupbys,
             "index_cells": self.index_cells,
             "index_groups": self.index_groups,
@@ -136,6 +152,8 @@ class EvalMetrics(EvalProbe):
             f"node evaluations      {self.node_evals}",
             f"cells materialized    {self.cells_materialized} "
             f"(in {self.tabulations} tabulations)",
+            f"cells vectorized      {self.cells_vectorized} "
+            f"(in {self.tabulations_vectorized} tabulations)",
             f"index_k group-bys     {self.index_groupbys} "
             f"({self.index_pairs} pairs -> {self.index_groups} groups, "
             f"{self.index_cells} cells)",

@@ -28,7 +28,7 @@ from typing import Any, List, Optional
 from repro.core import ast
 from repro.core.printer import pprint
 from repro.env.environment import TopEnv
-from repro.errors import SessionError
+from repro.errors import BottomError, SessionError
 from repro.obs import ExplainReport
 from repro.objects.exchange import pretty
 from repro.surface.desugar import Desugarer
@@ -39,6 +39,24 @@ from repro.types.types import Type, TypeScheme, type_of_value
 
 #: the session-level profiling command recognized by :meth:`Session.run`
 PROFILE_PREFIX = ":profile"
+
+
+def _driver_boundary(fn: Any, *args: Any) -> Any:
+    """Run a reader/writer, mapping host ``ValueError`` to ⊥.
+
+    The evaluators map stray ``ValueError`` (e.g. an
+    :class:`~repro.objects.array.Array` built with mismatched dims
+    inside a primitive) to :class:`~repro.errors.BottomError` at their
+    ``run`` boundary; drivers are invoked *outside* that boundary, so
+    they need the same mapping — a reader materializing a bad array
+    must surface the calculus's ⊥, not a Python traceback.
+    """
+    try:
+        return fn(*args)
+    except BottomError:
+        raise
+    except ValueError as exc:
+        raise BottomError(f"host value error: {exc}") from exc
 
 
 @dataclass
@@ -240,7 +258,7 @@ class Session:
         reader = self.env.drivers.reader(statement.reader)
         plan = self._compile(statement.args)
         args_value = self._evaluate(plan)
-        value = reader(args_value)
+        value = _driver_boundary(reader, args_value)
         self.env.set_val(statement.name, value)
         value_type = type_of_value(value)
         return Output("readval", statement.name, str(value_type),
@@ -252,7 +270,7 @@ class Session:
         value = self._evaluate(plan)
         args_plan = self._compile(statement.args, record=False)
         args_value = self._evaluate(args_plan)
-        writer(value, args_value)
+        _driver_boundary(writer, value, args_value)
         return Output("writeval", "it", str(plan.inferred))
 
     # -- observability (EXPLAIN / :profile) ----------------------------------------

@@ -60,6 +60,22 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Array.from_nested([1, 2, 3], rank=2)
 
+    def test_from_nested_empty_list_at_any_rank(self):
+        # regression: this raised "expected nesting depth 2, ran out at
+        # 1" — once a level is empty, remaining dims default to 0
+        assert Array.from_nested([], rank=2).dims == (0, 0)
+        assert Array.from_nested([], rank=1).dims == (0,)
+        assert Array.from_nested([], rank=4).dims == (0, 0, 0, 0)
+
+    def test_from_nested_empty_inner_level(self):
+        m = Array.from_nested([[], []], rank=3)
+        assert m.dims == (2, 0, 0)
+        assert m.flat == ()
+
+    def test_from_nested_empty_still_rejects_non_sequences(self):
+        with pytest.raises(ValueError):
+            Array.from_nested(0, rank=1)
+
     def test_tabulate(self):
         m = Array.tabulate((2, 3), lambda i, j: i * 10 + j)
         assert m.flat == (0, 1, 2, 10, 11, 12)

@@ -134,6 +134,41 @@ class TestHostErrorBoundaries:
         with pytest.raises(ValueError):
             Array((2, 2), [0])
 
+    def test_primitive_reshape_mismatch_becomes_bottom(self, session):
+        def misshape(_value):
+            return Array((2,), [1, 2]).reshape((3,))  # ValueError
+
+        session.register_co("misshape", misshape, TArrow(TNat(), TNat()))
+        with pytest.raises(BottomError) as err:
+            session.query_value("misshape!0;")
+        assert "host value error" in str(err.value)
+
+    def test_primitive_negative_dim_becomes_bottom(self, session):
+        def misdim(_value):
+            return Array((-1,), [])  # ValueError: negative dimension
+
+        session.register_co("misdim", misdim, TArrow(TNat(), TNat()))
+        with pytest.raises(BottomError):
+            session.query_value("misdim!0;")
+
+    def test_reader_value_error_becomes_bottom(self, session):
+        def bad_reader(_args):
+            return Array((2, 2), [0])  # wrong cell count -> ValueError
+
+        session.env.drivers.register_reader("BADREAD", bad_reader)
+        with pytest.raises(BottomError) as err:
+            session.run('readval \\v using BADREAD at "x";')
+        assert "host value error" in str(err.value)
+
+    def test_writer_value_error_becomes_bottom(self, session):
+        def bad_writer(value, _args):
+            Array((3,), value.flat).reshape((5,))  # ValueError
+
+        session.env.drivers.register_writer("BADWRITE", bad_writer)
+        with pytest.raises(BottomError) as err:
+            session.run('writeval [[1, 2, 3]] using BADWRITE at "x";')
+        assert "host value error" in str(err.value)
+
 
 class TestQueryValueParseErrors:
     def test_missing_semicolon_is_forgiven(self, session):

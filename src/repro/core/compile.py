@@ -20,7 +20,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core import ast
 from repro.core import kernels
+from repro.core import parallel
 from repro.core.eval import NativePrim, apply_arith, index_set
+from repro.core.fastpath import DEFAULT_CONFIG, DispatchConfig
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
@@ -65,9 +67,13 @@ class Compiler:
     """
 
     def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
-                 probe: Any = None):
+                 probe: Any = None,
+                 parallel: Optional[DispatchConfig] = None):
         self.prims: Dict[str, NativePrim] = dict(prims or {})
         self.probe = probe
+        #: fast-path gating (shared with the interpreter; held by
+        #: reference so session-level mutation retunes emitted code)
+        self.parallel = parallel if parallel is not None else DEFAULT_CONFIG
 
     def compile(self, expr: ast.Expr,
                 scope: Tuple[str, ...] = ()) -> Code:
@@ -241,11 +247,22 @@ class Compiler:
     def _sum(self, expr: ast.Sum, scope) -> Code:
         source = self.compile(expr.source, scope)
         body = self.compile(expr.body, scope + (expr.var,))
+        config = self.parallel
+        compiler = self
+        sum_scope = scope
 
         def run(env):
             # canonical order, not hash order: see Evaluator._sum
+            elements = canonical_elements(source(env))
+            if (len(elements) >= config.min_cells
+                    and parallel.available(config)):
+                sharded = parallel.sum_compiled(
+                    compiler, expr, sum_scope, body, env, elements
+                )
+                if sharded is not None:
+                    return sharded[0]
             total: Any = 0
-            for element in canonical_elements(source(env)):
+            for element in elements:
                 total = total + body(env + [element])
             return total
 
@@ -265,6 +282,9 @@ class Compiler:
         input_codes: List[Code] = []
         if kernel is not None:
             input_codes = [self.compile(leaf, scope) for leaf in kernel.inputs]
+        config = self.parallel
+        compiler = self
+        tab_scope = scope
 
         def run(env):
             extents = []
@@ -278,15 +298,23 @@ class Compiler:
                     )
                 extents.append(value)
                 total *= value
-            if (kernel is not None and total >= kernels.MIN_CELLS
-                    and kernels.available()):
-                result = kernels.execute(
-                    kernel, extents, [code(env) for code in input_codes]
-                )
-                if result is not None:
-                    if probe is not None:
-                        probe.on_cells_vectorized(result.size)
-                    return result
+            if total >= config.min_cells:
+                if kernel is not None and kernels.available():
+                    result = kernels.execute(
+                        kernel, extents, [code(env) for code in input_codes]
+                    )
+                    if result is not None:
+                        if probe is not None:
+                            probe.on_cells_vectorized(result.size)
+                        return result
+                # vectorization wins when the body is kernel-shaped;
+                # otherwise shard the domain by outermost index
+                if parallel.available(config):
+                    result = parallel.tabulate_compiled(
+                        compiler, expr, tab_scope, body, env, extents, total
+                    )
+                    if result is not None:
+                        return result
             if rank == 1:
                 values = [body(env + [i]) for i in range(extents[0])]
             else:
@@ -502,9 +530,11 @@ class CompiledEvaluator:
     """
 
     def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
-                 probe: Any = None):
-        self.compiler = Compiler(prims, probe)
+                 probe: Any = None,
+                 parallel: Optional[DispatchConfig] = None):
+        self.compiler = Compiler(prims, probe, parallel=parallel)
         self.probe = probe
+        self.parallel = self.compiler.parallel
         self._cache: Dict[int, Tuple[Tuple[str, ...], Code]] = {}
 
     def prepare(self, expr: ast.Expr,

@@ -20,6 +20,8 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core import ast
 from repro.core import kernels
+from repro.core import parallel
+from repro.core.fastpath import DEFAULT_CONFIG, DispatchConfig
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
@@ -86,12 +88,22 @@ class Evaluator:
     produced collection cardinalities.  The hook is installed once at
     construction by swapping the dispatch entry point, so the default
     (``probe=None``) evaluator pays nothing for the feature.
+
+    ``parallel`` (a :class:`~repro.core.fastpath.DispatchConfig`) gates
+    both fast paths: its ``min_cells`` floor guards the vectorized and
+    sharded dispatches alike, and ``workers``/``backend`` configure the
+    sharded executor (:mod:`repro.core.parallel`).  The config is held
+    by reference, so a session mutating its
+    :class:`~repro.env.environment.TopEnv`'s config retunes live
+    evaluators.
     """
 
     def __init__(self, prims: Optional[Mapping[str, NativePrim]] = None,
-                 probe: Any = None):
+                 probe: Any = None,
+                 parallel: Optional[DispatchConfig] = None):
         self.prims: Dict[str, NativePrim] = dict(prims or {})
         self.probe = probe
+        self.parallel = parallel if parallel is not None else DEFAULT_CONFIG
         #: memoized kernel recognition, keyed by node identity (the node
         #: itself is kept so the id cannot be recycled under us)
         self._kernel_cache: Dict[int, tuple] = {}
@@ -256,6 +268,11 @@ class Evaluator:
         # addition is non-associative, so a hash-ordered Σ over reals
         # would differ between runs and platforms
         source = canonical_elements(self._eval(expr.source, env))
+        if (len(source) >= self.parallel.min_cells
+                and parallel.available(self.parallel)):
+            sharded = parallel.sum_interp(self, expr, env, source)
+            if sharded is not None:
+                return sharded[0]
         total: Any = 0
         for element in source:
             total = total + self._eval(
@@ -272,12 +289,20 @@ class Evaluator:
                 raise BottomError(f"tabulation bound {value!r} is not natural")
             bounds.append(value)
             total *= value
-        if total >= kernels.MIN_CELLS and kernels.available():
-            result = self._tabulate_vectorized(expr, env, bounds)
-            if result is not None:
-                if self.probe is not None:
-                    self.probe.on_cells_vectorized(result.size)
-                return result
+        if total >= self.parallel.min_cells:
+            if kernels.available():
+                result = self._tabulate_vectorized(expr, env, bounds)
+                if result is not None:
+                    if self.probe is not None:
+                        self.probe.on_cells_vectorized(result.size)
+                    return result
+            # vectorization first: a kernel-shaped body beats sharding,
+            # and inside shards workers still take the numpy path
+            if parallel.available(self.parallel):
+                result = parallel.tabulate_interp(self, expr, env, bounds,
+                                                  total)
+                if result is not None:
+                    return result
         values = []
         for index in iter_indices(bounds):
             inner = env

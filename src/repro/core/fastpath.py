@@ -1,0 +1,101 @@
+"""Shared gating configuration for the evaluator fast paths.
+
+Two fast paths sit in front of the scalar loops: the numpy-vectorized
+kernel backend (:mod:`repro.core.kernels`) and the sharded parallel
+executor (:mod:`repro.core.parallel`).  Both pay a fixed dispatch cost
+(kernel recognition + grid setup; shard partitioning + pool hand-off),
+so both are gated on the same minimum-cells floor.  Before this module
+existed the floor lived inside ``kernels.py`` and a second fast path
+would inevitably have grown its own copy; extracting it here means the
+two dispatches cannot drift apart, and a single ``Session(min_cells=…)``
+override moves both at once.
+
+A :class:`DispatchConfig` travels from the :class:`~repro.system.session.Session`
+through the :class:`~repro.env.environment.TopEnv` into both evaluation
+engines.  It is deliberately a plain mutable object read at dispatch
+time: tuning ``workers`` mid-session affects every evaluator (including
+plan-cache-resident compiled ones) without recompilation.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: the one shared floor: domains/sources smaller than this stay on the
+#: plain scalar loop — recognition, grid setup, and shard dispatch all
+#: cost more than they save on tiny inputs
+DEFAULT_MIN_CELLS = 64
+
+#: worker-pool strategies understood by :mod:`repro.core.parallel`
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+class DispatchConfig:
+    """Gating knobs shared by the vectorized and parallel fast paths.
+
+    ``min_cells``
+        Floor (in cells for tabulation, elements for Σ) below which
+        neither fast path engages.
+    ``workers``
+        Worker-pool size for the sharded executor; ``<= 1`` disables
+        parallel execution entirely (the vectorized path is unaffected).
+    ``backend``
+        ``"thread"`` (default; shares the interpreter, no pickling) or
+        ``"process"`` (true CPU parallelism for evaluator-bound bodies,
+        at the cost of forking workers and pickling shard inputs).
+
+    One instance is owned by each :class:`~repro.env.environment.TopEnv`
+    and handed by reference to every evaluator it builds, so mutating it
+    reconfigures live engines.  Construction never validates against the
+    environment — :class:`~repro.system.session.Session` validates its
+    keyword surface before mutating the config.
+    """
+
+    __slots__ = ("min_cells", "workers", "backend")
+
+    def __init__(self, min_cells: int = DEFAULT_MIN_CELLS,
+                 workers: int = 0, backend: str = "thread"):
+        self.min_cells = min_cells
+        self.workers = workers
+        self.backend = backend
+
+    @classmethod
+    def from_env(cls) -> "DispatchConfig":
+        """Defaults overridable through the process environment.
+
+        ``REPRO_PARALLEL_WORKERS`` (default 0 → serial),
+        ``REPRO_PARALLEL_BACKEND`` (default ``thread``), and
+        ``REPRO_MIN_CELLS`` (default :data:`DEFAULT_MIN_CELLS`).  The
+        ``REPRO_NO_PARALLEL`` kill switch is honoured separately by
+        :mod:`repro.core.parallel` so it wins over any workers setting.
+        """
+
+        def _int(name: str, default: int) -> int:
+            raw = os.environ.get(name, "")
+            try:
+                return int(raw) if raw else default
+            except ValueError:
+                return default
+
+        backend = os.environ.get("REPRO_PARALLEL_BACKEND", "thread")
+        if backend not in PARALLEL_BACKENDS:
+            backend = "thread"
+        return cls(
+            min_cells=_int("REPRO_MIN_CELLS", DEFAULT_MIN_CELLS),
+            workers=_int("REPRO_PARALLEL_WORKERS", 0),
+            backend=backend,
+        )
+
+    def __repr__(self) -> str:
+        return (f"DispatchConfig(min_cells={self.min_cells}, "
+                f"workers={self.workers}, backend={self.backend!r})")
+
+
+#: the config used by evaluators constructed without an explicit one
+#: (direct ``Evaluator()`` builds in tests and benchmarks); sessions get
+#: their own per-:class:`~repro.env.environment.TopEnv` instance
+DEFAULT_CONFIG = DispatchConfig.from_env()
+
+
+__all__ = ["DEFAULT_MIN_CELLS", "PARALLEL_BACKENDS", "DispatchConfig",
+           "DEFAULT_CONFIG"]

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import ast
+from repro.core import fastpath
 from repro.errors import EvalError
 from repro.objects.array import Array
 
@@ -63,8 +64,12 @@ except ImportError:  # pragma: no cover
 ENABLED = os.environ.get("REPRO_NO_VECTORIZE", "") != "1"
 
 #: tabulations smaller than this stay on the scalar loop — recognition
-#: and grid setup cost more than they save on tiny domains
-MIN_CELLS = 64
+#: and grid setup cost more than they save on tiny domains.  The value
+#: lives in :mod:`repro.core.fastpath` (shared with the parallel
+#: executor's gate, and overridable per session via
+#: ``Session(min_cells=...)``); the name is kept here for callers that
+#: treat it as the backend's constant floor.
+MIN_CELLS = fastpath.DEFAULT_MIN_CELLS
 
 #: conservative magnitude guard: any intermediate whose *interval bound*
 #: could exceed this falls back to the exact Python-int scalar loop

@@ -1,0 +1,691 @@
+"""Sharded parallel execution of tabulation and Σ.
+
+The paper's array constructs are *functions over rectangular index
+domains*: a ``Tabulate`` applies its defining function independently at
+every index, and ``Σ`` folds a body over ``canonical_elements`` of its
+source.  Both are embarrassingly parallel — this module partitions a
+tabulation domain by outermost-index prefix (contiguous runs of the
+first axis, which ``iter_indices``'s row-major order makes contiguous
+runs of cells) and a Σ source into contiguous slices of its canonical
+element list, executes the shards on a worker pool, and merges results
+back **in index order** so the output is bit-identical to the serial
+loop.
+
+Discipline (same proof-or-fallback contract as :mod:`repro.core.kernels`):
+
+* Every entry point returns the finished value or ``None``; ``None``
+  means "run the scalar loop" and is the answer whenever parallel
+  execution cannot *prove* it reproduces serial results — pool
+  unavailable, probe unforkable, payload unpicklable, or any shard
+  raising anything at all.
+* **Strict ⊥ and error identity**: when any shard fails (⊥ or
+  otherwise) the remaining shards are cancelled best-effort, *all*
+  parallel work — including worker probe counters — is discarded, and
+  the caller's serial loop reruns the whole construct.  The serial
+  rerun raises exactly the error a serial evaluation always raised
+  (same reason, same probe counts), so failure semantics cannot drift.
+* **Float-exact Σ**: workers return their slice's body *values*, never
+  partial sums; the parent folds every value left-to-right in canonical
+  order.  Float addition is non-associative, so merging partial sums
+  would change low bits — folding serially over parallel-computed
+  values cannot.
+* **Probe exactness**: counters are single-writer (see
+  :mod:`repro.obs.metrics`), so each worker reports into a private
+  probe from ``probe.fork()`` and the parent merges the finished
+  workers back in shard order.  A probe that cannot fork opts out of
+  parallelism entirely.
+
+Backends: ``"thread"`` shares the interpreter (no pickling, no copies;
+the GIL serializes pure-Python bodies, so it helps only when bodies
+release the GIL, e.g. numpy-heavy primitives) and ``"process"`` forks
+true CPU-parallel workers that re-interpret the shard body against
+pickled bindings (a worker that cannot reconstruct the body — native
+primitives in scope, unpicklable values — fails its shard and the
+whole construct falls back to serial).
+
+``REPRO_NO_PARALLEL=1`` disables every dispatch unconditionally.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import ast
+from repro.core.fastpath import DispatchConfig
+from repro.objects.array import Array, iter_indices
+
+#: kill switch — mirrors ``kernels.ENABLED`` / ``REPRO_NO_VECTORIZE``
+ENABLED = os.environ.get("REPRO_NO_PARALLEL", "") != "1"
+
+#: the config worker evaluators run under: never parallel (a shard that
+#: re-sharded would deadlock a saturated pool), never vector-gated
+#: differently than the parent
+_SERIAL = DispatchConfig(workers=0)
+
+#: set while the current *thread* is executing a shard, so nested
+#: tabulations inside a shard body take the serial path even on the
+#: shared-evaluator thread backend
+_WORKER = threading.local()
+
+
+class _Cancelled(Exception):
+    """A shard aborted because a sibling already failed."""
+
+
+def in_worker() -> bool:
+    """Is the current thread executing inside a shard?"""
+    return getattr(_WORKER, "active", False)
+
+
+def available(config: Optional[DispatchConfig]) -> bool:
+    """Can a parallel dispatch be attempted under ``config`` at all?
+
+    The minimum-cells floor is the *caller's* gate (shared with the
+    vectorized path); this checks everything else.
+    """
+    return (
+        ENABLED
+        and config is not None
+        and config.workers > 1
+        and not in_worker()
+    )
+
+
+def split(extent: int, shards: int) -> List[Tuple[int, int]]:
+    """Partition ``range(extent)`` into ≤ ``shards`` contiguous, balanced,
+    non-empty ``(lo, hi)`` runs, in index order."""
+    shards = min(shards, extent)
+    if shards <= 0:
+        return []
+    base, extra = divmod(extent, shards)
+    out = []
+    lo = 0
+    for k in range(shards):
+        hi = lo + base + (1 if k < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+# -- worker pools -----------------------------------------------------------
+
+_POOLS: Dict[Tuple[str, int], Any] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _get_pool(backend: str, workers: int):
+    """The cached pool for ``(backend, workers)``, or ``None``.
+
+    Pools are lazily created and reused across dispatches so process
+    forking is paid once per configuration, not once per tabulation.
+    """
+    key = (backend, workers)
+    with _POOL_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None:
+            return pool
+        if backend == "thread":
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        elif backend == "process":
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                context = multiprocessing.get_context("fork")
+                pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+            except (ImportError, ValueError, OSError):
+                return None  # no fork on this platform -> serial fallback
+        else:
+            return None
+        _POOLS[key] = pool
+        return pool
+
+
+def _evict_pool(backend: str, workers: int) -> None:
+    """Drop (and shut down) a pool that broke mid-dispatch."""
+    with _POOL_LOCK:
+        pool = _POOLS.pop((backend, workers), None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached pool (atexit, and test isolation)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
+
+
+atexit.register(shutdown_pools)
+
+
+def _collect(futures: Sequence[Future], cancel: threading.Event,
+             backend: str, workers: int) -> Optional[List[Any]]:
+    """Await every shard; any failure cancels the rest and yields ``None``.
+
+    Shards that already run are drained (their inputs are immutable, so
+    letting them finish is safe); a broken process pool is evicted so
+    the next dispatch gets a fresh one instead of failing forever.
+    """
+    results: List[Any] = []
+    failed = False
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException:
+            failed = True
+            cancel.set()
+            for other in futures:
+                other.cancel()
+            results.append(None)
+    if failed:
+        if backend == "process":
+            pool = _POOLS.get((backend, workers))
+            if pool is not None and getattr(pool, "_broken", False):
+                _evict_pool(backend, workers)
+        return None
+    return results
+
+
+def _fork_probes(probe: Any, count: int) -> Optional[List[Any]]:
+    """``count`` private worker probes, or ``None`` if ``probe`` cannot
+    be forked/merged (which declines the whole parallel dispatch)."""
+    if probe is None:
+        return []
+    fork = getattr(probe, "fork", None)
+    if fork is None or not hasattr(probe, "merge"):
+        return None
+    probes = []
+    for _ in range(count):
+        forked = fork()
+        if forked is None:
+            return None
+        probes.append(forked)
+    return probes
+
+
+def _merge_probes(probe: Any, worker_probes: List[Any],
+                  shards: int, cells: int) -> None:
+    """Fold finished worker probes into the parent, in shard order, and
+    record the dispatch itself."""
+    if probe is None:
+        return
+    for worker_probe in worker_probes:
+        probe.merge(worker_probe)
+    probe.on_parallel(shards, cells)
+
+
+# -- interpreter (repro.core.eval) entry points -----------------------------
+
+
+def _interp_rows(evaluator, expr: ast.Tabulate, env, extents: Sequence[int],
+                 lo: int, hi: int, cancel: Optional[threading.Event]) -> list:
+    """Evaluate rows ``lo..hi`` of the first axis, in row-major order —
+    exactly the cells the serial loop would produce at those indices."""
+    from repro.core.eval import Env
+
+    values: list = []
+    eval_ = evaluator._eval
+    body = expr.body
+    variables = expr.vars
+    if len(extents) == 1:
+        for i in range(lo, hi):
+            if cancel is not None and cancel.is_set():
+                raise _Cancelled()
+            values.append(eval_(body, Env.extend(env, variables[0], i)))
+        return values
+    inner_extents = extents[1:]
+    inner_vars = variables[1:]
+    for i in range(lo, hi):
+        if cancel is not None and cancel.is_set():
+            raise _Cancelled()
+        outer = Env.extend(env, variables[0], i)
+        for index in iter_indices(inner_extents):
+            inner = outer
+            for var, position in zip(inner_vars, index):
+                inner = Env.extend(inner, var, position)
+            values.append(eval_(body, inner))
+    return values
+
+
+def _interp_sum_slice(evaluator, expr: ast.Sum, env, elements: Sequence[Any],
+                      lo: int, hi: int,
+                      cancel: Optional[threading.Event]) -> list:
+    """Body values for elements ``lo..hi`` of the canonical order."""
+    from repro.core.eval import Env
+
+    values: list = []
+    eval_ = evaluator._eval
+    body = expr.body
+    var = expr.var
+    for k in range(lo, hi):
+        if cancel is not None and cancel.is_set():
+            raise _Cancelled()
+        values.append(eval_(body, Env.extend(env, var, elements[k])))
+    return values
+
+
+def _guarded(fn):
+    """Run ``fn`` with the worker flag set on this thread."""
+    _WORKER.active = True
+    try:
+        return fn()
+    finally:
+        _WORKER.active = False
+
+
+def _env_bindings(env, needed) -> Optional[List[Tuple[str, Any]]]:
+    """The innermost binding of each ``needed`` name from an
+    :class:`~repro.core.eval.Env` chain; ``None`` if any is unbound
+    (the serial loop raises the canonical error for that)."""
+    bindings: List[Tuple[str, Any]] = []
+    seen = set()
+    node = env
+    while node is not None and len(seen) < len(needed):
+        if node.name in needed and node.name not in seen:
+            seen.add(node.name)
+            bindings.append((node.name, node.value))
+        node = node.parent
+    if len(seen) < len(needed):
+        return None
+    return bindings
+
+
+def _dispatch_threads(evaluator, probe, config, make_task, shards):
+    """Common thread-backend driver: fork probes, build one worker
+    evaluator per shard (or share the parent when unprobed), run, and
+    return ``(parts, worker_probes)`` or ``None``."""
+    from repro.core.eval import Evaluator
+
+    worker_probes = _fork_probes(probe, len(shards))
+    if worker_probes is None:
+        return None
+    pool = _get_pool("thread", config.workers)
+    if pool is None:
+        return None
+    cancel = threading.Event()
+    tasks = []
+    for position, (lo, hi) in enumerate(shards):
+        if probe is None:
+            worker = evaluator  # read-only sharing; guard blocks re-entry
+        else:
+            worker = Evaluator(evaluator.prims,
+                               probe=worker_probes[position],
+                               parallel=_SERIAL)
+        tasks.append(make_task(worker, lo, hi, cancel))
+    futures = [pool.submit(_guarded, task) for task in tasks]
+    parts = _collect(futures, cancel, "thread", config.workers)
+    if parts is None:
+        return None
+    return parts, worker_probes
+
+
+def tabulate_interp(evaluator, expr: ast.Tabulate, env,
+                    extents: Sequence[int], total: int) -> Optional[Array]:
+    """Parallel interpreter tabulation, or ``None`` for the scalar loop."""
+    config = evaluator.parallel
+    shards = split(extents[0], config.workers)
+    if len(shards) < 2:
+        return None
+    probe = evaluator.probe
+    if config.backend == "process":
+        return _tabulate_process(
+            expr, _env_bindings_for(expr, env), extents, shards, probe,
+            config)
+
+    def make_task(worker, lo, hi, cancel):
+        return lambda: _interp_rows(worker, expr, env, extents, lo, hi,
+                                    cancel)
+
+    outcome = _dispatch_threads(evaluator, probe, config, make_task, shards)
+    if outcome is None:
+        return None
+    parts, worker_probes = outcome
+    values = [value for part in parts for value in part]
+    _merge_probes(probe, worker_probes, len(shards), total)
+    if probe is not None:
+        probe.on_cells(total)
+    return Array(extents, values)
+
+
+def sum_interp(evaluator, expr: ast.Sum, env,
+               elements: Sequence[Any]) -> Optional[Tuple[Any]]:
+    """Parallel interpreter Σ: ``(total,)`` on success, else ``None``.
+
+    The 1-tuple distinguishes a computed total (which may itself be 0 or
+    any falsy value) from the fallback signal.
+    """
+    config = evaluator.parallel
+    shards = split(len(elements), config.workers)
+    if len(shards) < 2:
+        return None
+    probe = evaluator.probe
+    if config.backend == "process":
+        return _sum_process(expr, _env_bindings_for(expr, env), elements,
+                            shards, probe, config)
+
+    def make_task(worker, lo, hi, cancel):
+        return lambda: _interp_sum_slice(worker, expr, env, elements,
+                                         lo, hi, cancel)
+
+    outcome = _dispatch_threads(evaluator, probe, config, make_task, shards)
+    if outcome is None:
+        return None
+    parts, worker_probes = outcome
+    _merge_probes(probe, worker_probes, len(shards), len(elements))
+    total: Any = 0
+    for part in parts:
+        for value in part:  # canonical order: float-exact vs serial
+            total = total + value
+    return (total,)
+
+
+def _env_bindings_for(expr, env):
+    """Bindings a process worker needs to rebuild ``expr``'s body env."""
+    bound = set(expr.vars) if isinstance(expr, ast.Tabulate) else {expr.var}
+    needed = ast.free_vars(expr.body) - bound
+    return _env_bindings(env, needed)
+
+
+# -- compiled engine (repro.core.compile) entry points ----------------------
+
+
+def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
+                      body_code, env: List[Any], extents: Sequence[int],
+                      total: int) -> Optional[Array]:
+    """Parallel compiled tabulation, or ``None`` for the scalar loop."""
+    config = compiler.parallel
+    shards = split(extents[0], config.workers)
+    if len(shards) < 2:
+        return None
+    probe = compiler.probe
+    if config.backend == "process":
+        if probe is not None:
+            # process workers re-interpret the body; interpreter-side
+            # counters are only provably identical to the *interpreter's*
+            # serial counters, so the compiled engine declines
+            return None
+        bindings = _scope_bindings(expr, scope, env)
+        return _tabulate_process(expr, bindings, extents, shards, None,
+                                 config)
+    worker_probes = _fork_probes(probe, len(shards))
+    if worker_probes is None:
+        return None
+    pool = _get_pool("thread", config.workers)
+    if pool is None:
+        return None
+    cancel = threading.Event()
+    rank = expr.rank
+    inner_extents = list(extents[1:])
+
+    def make_task(position: int, lo: int, hi: int):
+        def task():
+            if probe is None:
+                body = body_code  # pure closures: safe to share
+            else:
+                from repro.core.compile import Compiler
+
+                worker = Compiler(compiler.prims,
+                                  probe=worker_probes[position],
+                                  parallel=_SERIAL)
+                body = worker.compile(expr.body, scope + expr.vars)
+            values: list = []
+            if rank == 1:
+                for i in range(lo, hi):
+                    if cancel.is_set():
+                        raise _Cancelled()
+                    values.append(body(env + [i]))
+            else:
+                for i in range(lo, hi):
+                    if cancel.is_set():
+                        raise _Cancelled()
+                    for index in iter_indices(inner_extents):
+                        values.append(body(env + [i, *index]))
+            return values
+
+        return task
+
+    futures = [
+        pool.submit(_guarded, make_task(position, lo, hi))
+        for position, (lo, hi) in enumerate(shards)
+    ]
+    parts = _collect(futures, cancel, "thread", config.workers)
+    if parts is None:
+        return None
+    values = [value for part in parts for value in part]
+    _merge_probes(probe, worker_probes, len(shards), total)
+    if probe is not None:
+        probe.on_cells(total)
+    return Array(extents, values)
+
+
+def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
+                 body_code, env: List[Any],
+                 elements: Sequence[Any]) -> Optional[Tuple[Any]]:
+    """Parallel compiled Σ: ``(total,)`` on success, else ``None``."""
+    config = compiler.parallel
+    shards = split(len(elements), config.workers)
+    if len(shards) < 2:
+        return None
+    probe = compiler.probe
+    if config.backend == "process":
+        if probe is not None:
+            return None  # see tabulate_compiled
+        bindings = _scope_bindings(expr, scope, env)
+        return _sum_process(expr, bindings, elements, shards, None,
+                            config)
+    worker_probes = _fork_probes(probe, len(shards))
+    if worker_probes is None:
+        return None
+    pool = _get_pool("thread", config.workers)
+    if pool is None:
+        return None
+    cancel = threading.Event()
+
+    def make_task(position: int, lo: int, hi: int):
+        def task():
+            if probe is None:
+                body = body_code
+            else:
+                from repro.core.compile import Compiler
+
+                worker = Compiler(compiler.prims,
+                                  probe=worker_probes[position],
+                                  parallel=_SERIAL)
+                body = worker.compile(expr.body, scope + (expr.var,))
+            values: list = []
+            for k in range(lo, hi):
+                if cancel.is_set():
+                    raise _Cancelled()
+                values.append(body(env + [elements[k]]))
+            return values
+
+        return task
+
+    futures = [
+        pool.submit(_guarded, make_task(position, lo, hi))
+        for position, (lo, hi) in enumerate(shards)
+    ]
+    parts = _collect(futures, cancel, "thread", config.workers)
+    if parts is None:
+        return None
+    _merge_probes(probe, worker_probes, len(shards), len(elements))
+    total: Any = 0
+    for part in parts:
+        for value in part:
+            total = total + value
+    return (total,)
+
+
+def _scope_bindings(expr, scope: Tuple[str, ...],
+                    env: List[Any]) -> Optional[List[Tuple[str, Any]]]:
+    """Free-variable bindings of ``expr.body`` from a compiled env list
+    (innermost occurrence of a shadowed name wins)."""
+    bound = set(expr.vars) if isinstance(expr, ast.Tabulate) else {expr.var}
+    needed = ast.free_vars(expr.body) - bound
+    latest: Dict[str, Any] = {}
+    for name, value in zip(scope, env):
+        if name in needed:
+            latest[name] = value
+    if len(latest) < len(needed):
+        return None
+    return list(latest.items())
+
+
+# -- the process backend ----------------------------------------------------
+#
+# Workers are forked interpreters: the shard body is shipped as the AST
+# plus the (pickled) values of its free variables, and re-evaluated by a
+# fresh serial Evaluator in the child.  Anything that cannot make the
+# trip — native primitives in the body, unpicklable environment values —
+# fails the shard, which falls the whole construct back to serial.
+
+
+def _contains_prim(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Prim):
+        return True
+    return any(_contains_prim(child) for child in expr.children())
+
+
+def _process_worker(payload_bytes: bytes):
+    """Runs in the child: evaluate one shard, never raise through pickle.
+
+    Returns ``("ok", values, metrics)`` or ``("err",)`` — errors are
+    reported as data so exotic exception types never have to survive a
+    pickle round-trip; the parent's serial rerun reproduces them.
+    """
+    from repro.core.eval import Env, Evaluator
+
+    try:
+        kind, expr, bindings, extents, lo, hi, elements, probed = \
+            pickle.loads(payload_bytes)
+        env = None
+        for name, value in bindings:
+            env = Env.extend(env, name, value)
+        probe = None
+        if probed:
+            from repro.obs.metrics import EvalMetrics
+
+            probe = EvalMetrics()
+        worker = Evaluator({}, probe=probe, parallel=_SERIAL)
+        if kind == "tabulate":
+            values = _interp_rows(worker, expr, env, extents, lo, hi, None)
+        else:
+            values = _interp_sum_slice(worker, expr, env, elements,
+                                       lo, hi, None)
+        return ("ok", values, probe)
+    except BaseException:
+        return ("err",)
+
+
+def _run_process_shards(payloads: List[tuple],
+                        config: DispatchConfig) -> Optional[List[tuple]]:
+    """Pickle + dispatch shard payloads; ``None`` on any failure."""
+    blobs = []
+    try:
+        for payload in payloads:
+            blobs.append(pickle.dumps(payload))
+    except Exception:
+        return None
+    pool = _get_pool("process", config.workers)
+    if pool is None:
+        return None
+    cancel = threading.Event()  # unused by children; satisfies _collect
+    try:
+        futures = [pool.submit(_process_worker, blob) for blob in blobs]
+    except Exception:
+        _evict_pool("process", config.workers)
+        return None
+    outcomes = _collect(futures, cancel, "process", config.workers)
+    if outcomes is None:
+        return None
+    if any(outcome[0] != "ok" for outcome in outcomes):
+        return None
+    return outcomes
+
+
+def _probed_for_process(probe) -> Optional[bool]:
+    """Whether the child should count into an
+    :class:`~repro.obs.metrics.EvalMetrics`; ``None`` declines the
+    dispatch.  Children always report through ``EvalMetrics`` (arbitrary
+    probe objects do not survive pickling), so a parent probe of any
+    other class opts out rather than receive foreign counters."""
+    if probe is None:
+        return False
+    from repro.obs.metrics import EvalMetrics
+
+    if type(probe) is not EvalMetrics:
+        return None
+    return True
+
+
+def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
+                      probe, config: DispatchConfig) -> Optional[Array]:
+    if bindings is None or _contains_prim(expr.body):
+        return None
+    probed = _probed_for_process(probe)
+    if probed is None:
+        return None
+    payloads = [
+        ("tabulate", expr, bindings, list(extents), lo, hi, None, probed)
+        for lo, hi in shards
+    ]
+    outcomes = _run_process_shards(payloads, config)
+    if outcomes is None:
+        return None
+    total = 1
+    for extent in extents:
+        total *= extent
+    values = [value for outcome in outcomes for value in outcome[1]]
+    _merge_probes(probe, [o[2] for o in outcomes] if probed else [],
+                  len(shards), total)
+    if probe is not None:
+        probe.on_cells(total)
+    return Array(extents, values)
+
+
+def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
+                 config: DispatchConfig) -> Optional[Tuple[Any]]:
+    if bindings is None or _contains_prim(expr.body):
+        return None
+    probed = _probed_for_process(probe)
+    if probed is None:
+        return None
+    payloads = [
+        ("sum", expr, bindings, None, 0, hi - lo, list(elements[lo:hi]),
+         probed)
+        for lo, hi in shards
+    ]
+    outcomes = _run_process_shards(payloads, config)
+    if outcomes is None:
+        return None
+    _merge_probes(probe, [o[2] for o in outcomes] if probed else [],
+                  len(shards), len(elements))
+    total: Any = 0
+    for outcome in outcomes:
+        for value in outcome[1]:
+            total = total + value
+    return (total,)
+
+
+__all__ = [
+    "ENABLED", "available", "split", "in_worker", "shutdown_pools",
+    "tabulate_interp", "sum_interp", "tabulate_compiled", "sum_compiled",
+]

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import ast
 from repro.core.eval import Evaluator
+from repro.core.fastpath import DispatchConfig
 from repro.core.typecheck import TypeChecker
 from repro.errors import RegistrationError, TypeCheckError
 from repro.io.drivers import DriverRegistry, default_registry
@@ -51,6 +52,11 @@ class TopEnv:
         self.optimizer = (optimizer if optimizer is not None
                           else default_optimizer())
         self.backend = backend
+        #: fast-path gating shared by every evaluator this environment
+        #: builds (vectorized + sharded dispatch); handed out by
+        #: reference, so Session-level tuning retunes live engines —
+        #: including compiled evaluators resident in a plan cache
+        self.parallel = DispatchConfig.from_env()
         #: the observability switch threaded through the whole pipeline
         #: (Section 4.1's openness applied to measurement); disabled by
         #: default, in which case every instrument is the zero-cost null
@@ -232,8 +238,10 @@ class TopEnv:
         if self.backend == "compiled":
             from repro.core.compile import CompiledEvaluator
 
-            return CompiledEvaluator(self._prim_impls, probe=probe)
-        return Evaluator(self._prim_impls, probe=probe)
+            return CompiledEvaluator(self._prim_impls, probe=probe,
+                                     parallel=self.parallel)
+        return Evaluator(self._prim_impls, probe=probe,
+                         parallel=self.parallel)
 
     def plan_evaluator(self):
         """An *uninstrumented* evaluator suitable for caching inside a
@@ -251,7 +259,7 @@ class TopEnv:
             return None
         from repro.core.compile import CompiledEvaluator
 
-        return CompiledEvaluator(self._prim_impls)
+        return CompiledEvaluator(self._prim_impls, parallel=self.parallel)
 
     def compile(self, expr: ast.Expr,
                 optimize: bool = True) -> Tuple[ast.Expr, Type]:

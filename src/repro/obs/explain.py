@@ -124,8 +124,11 @@ def _render_phase(name: str, stats: Any) -> str:
     passes = getattr(stats, "passes", 0)
     applications = getattr(stats, "applications", 0)
     seconds = getattr(stats, "seconds", 0.0)
+    attempts = getattr(stats, "attempts", 0)
+    pruned = getattr(stats, "pruned", 0)
     header = (f"{name}: {applications} firings in {passes} passes "
-              f"({seconds * 1e3:.3f} ms)")
+              f"({attempts} attempts, {pruned} pruned, "
+              f"{seconds * 1e3:.3f} ms)")
     by_rule = getattr(stats, "by_rule", {}) or {}
     time_by_rule = getattr(stats, "time_by_rule", {}) or {}
     lines = [header]

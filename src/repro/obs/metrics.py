@@ -12,6 +12,20 @@ questions the ROADMAP's performance work needs — *how many nodes were
 evaluated, of which AST classes?  how many tabulation cells were
 materialized?  how large were the ``index_k`` group-bys?  how many ⊥
 were raised?  how big were the sets and bags the query touched?*
+
+Concurrency contract (the sharded executor depends on it)
+---------------------------------------------------------
+
+A probe is **single-writer**: every hook mutates plain Python counters
+with unguarded read-modify-write sequences, so exactly one thread may
+report into a given probe instance.  Parallel shard execution therefore
+never shares the parent probe with its workers; instead each worker
+runs against a private probe obtained from :meth:`EvalProbe.fork`, and
+the parent folds the finished workers back in — in deterministic shard
+order — through :meth:`EvalMetrics.merge`.  A probe class that cannot
+be forked (``fork()`` returning ``None``, the base default) opts its
+runs out of parallel execution entirely rather than risk losing or
+double-counting events.
 """
 
 from __future__ import annotations
@@ -42,6 +56,23 @@ class EvalProbe:
         Disjoint from :meth:`on_cells` — a tabulation reports into
         exactly one of the two."""
 
+    def on_parallel(self, shards: int, cells: int) -> None:
+        """A tabulation or Σ dispatched ``cells`` cells/elements across
+        ``shards`` shards of the parallel executor
+        (:mod:`repro.core.parallel`).  Reported *in addition to* the
+        ordinary materialization hooks, which the parent still fires so
+        shard-merged counters stay equal to a serial run's."""
+
+    def fork(self):
+        """A fresh probe of this kind for one shard worker, or ``None``.
+
+        The default declines: a probe that does not know how to fork
+        (and later :meth:`EvalMetrics.merge`-style fold back) must not
+        be silently bypassed, so the engines fall back to serial
+        evaluation when ``fork()`` returns ``None``.
+        """
+        return None
+
     def on_index(self, cells: int, groups: int, pairs: int) -> None:
         """An ``index_k`` built ``cells`` cells grouping ``pairs`` pairs
         into ``groups`` non-empty groups."""
@@ -58,6 +89,7 @@ class EvalMetrics(EvalProbe):
 
     __slots__ = ("node_evals", "nodes_by_class", "cells_materialized",
                  "cells_vectorized", "tabulations", "tabulations_vectorized",
+                 "shards_executed", "cells_parallel",
                  "index_groupbys", "index_cells",
                  "index_groups", "index_pairs", "max_group_size",
                  "bottom_raises", "bottom_reasons", "collections_touched",
@@ -70,6 +102,8 @@ class EvalMetrics(EvalProbe):
         self.cells_vectorized = 0
         self.tabulations = 0
         self.tabulations_vectorized = 0
+        self.shards_executed = 0
+        self.cells_parallel = 0
         self.index_groupbys = 0
         self.index_cells = 0
         self.index_groups = 0
@@ -97,6 +131,51 @@ class EvalMetrics(EvalProbe):
         """Count one numpy-backed tabulation and its cells."""
         self.tabulations_vectorized += 1
         self.cells_vectorized += count
+
+    def on_parallel(self, shards: int, cells: int) -> None:
+        """Count one sharded dispatch: its shard count and its cells."""
+        self.shards_executed += shards
+        self.cells_parallel += cells
+
+    # -- the shard-worker protocol -------------------------------------------
+
+    def fork(self) -> "EvalMetrics":
+        """A fresh sibling for one shard worker (see :meth:`merge`)."""
+        return EvalMetrics()
+
+    def merge(self, other: "EvalMetrics") -> None:
+        """Fold a finished worker's counters into this probe.
+
+        The single-writer discipline: ``other`` must be quiescent (its
+        shard has completed) and ``self`` must be touched by exactly one
+        thread.  Sums are added, per-key dicts merged, and the ``max_*``
+        watermarks combined with ``max`` — so merging the workers of a
+        sharded run in any order yields the same totals a serial run
+        would have counted.
+        """
+        self.node_evals += other.node_evals
+        for kind, count in other.nodes_by_class.items():
+            self.nodes_by_class[kind] = \
+                self.nodes_by_class.get(kind, 0) + count
+        self.cells_materialized += other.cells_materialized
+        self.cells_vectorized += other.cells_vectorized
+        self.tabulations += other.tabulations
+        self.tabulations_vectorized += other.tabulations_vectorized
+        self.shards_executed += other.shards_executed
+        self.cells_parallel += other.cells_parallel
+        self.index_groupbys += other.index_groupbys
+        self.index_cells += other.index_cells
+        self.index_groups += other.index_groups
+        self.index_pairs += other.index_pairs
+        self.max_group_size = max(self.max_group_size, other.max_group_size)
+        self.bottom_raises += other.bottom_raises
+        for reason, count in other.bottom_reasons.items():
+            self.bottom_reasons[reason] = \
+                self.bottom_reasons.get(reason, 0) + count
+        self.collections_touched += other.collections_touched
+        self.collection_elements += other.collection_elements
+        self.max_collection_size = max(self.max_collection_size,
+                                       other.max_collection_size)
 
     def on_index(self, cells: int, groups: int, pairs: int) -> None:
         """Count one ``index_k`` group-by and its sizes."""
@@ -135,6 +214,8 @@ class EvalMetrics(EvalProbe):
             "cells_vectorized": self.cells_vectorized,
             "tabulations": self.tabulations,
             "tabulations_vectorized": self.tabulations_vectorized,
+            "shards_executed": self.shards_executed,
+            "cells_parallel": self.cells_parallel,
             "index_groupbys": self.index_groupbys,
             "index_cells": self.index_cells,
             "index_groups": self.index_groups,
@@ -154,6 +235,8 @@ class EvalMetrics(EvalProbe):
             f"(in {self.tabulations} tabulations)",
             f"cells vectorized      {self.cells_vectorized} "
             f"(in {self.tabulations_vectorized} tabulations)",
+            f"parallel shards       {self.shards_executed} "
+            f"({self.cells_parallel} cells)",
             f"index_k group-bys     {self.index_groupbys} "
             f"({self.index_pairs} pairs -> {self.index_groups} groups, "
             f"{self.index_cells} cells)",

@@ -124,15 +124,19 @@ def _gen_zero(expr: ast.Expr) -> Optional[ast.Expr]:
 def arith_rules(assume_error_free: bool = False) -> List[Rule]:
     """The arithmetic/summation rule base."""
     return [
-        Rule("arith-fold", _arith_fold, "fold literal arithmetic"),
-        Rule("arith-identity", _arith_identity, "unit laws"),
-        Rule("sum-empty-source", _sum_empty_source, "Σ over {} ⇝ 0"),
+        Rule("arith-fold", _arith_fold, "fold literal arithmetic",
+             roots=(ast.Arith,)),
+        Rule("arith-identity", _arith_identity, "unit laws",
+             roots=(ast.Arith,)),
+        Rule("sum-empty-source", _sum_empty_source, "Σ over {} ⇝ 0",
+             roots=(ast.Sum,)),
         Rule("sum-singleton-source", _sum_singleton_source,
-             "Σ over singleton ⇝ substitution"),
-        Rule("sum-if-source", _sum_if_source, "Σ filter promotion"),
+             "Σ over singleton ⇝ substitution", roots=(ast.Sum,)),
+        Rule("sum-if-source", _sum_if_source, "Σ filter promotion",
+             roots=(ast.Sum,)),
         Rule("sum-zero-body", make_sum_zero_body(assume_error_free),
-             "Σ of zeros ⇝ 0"),
-        Rule("gen-zero", _gen_zero, "gen(0) ⇝ {}"),
+             "Σ of zeros ⇝ 0", roots=(ast.Sum,)),
+        Rule("gen-zero", _gen_zero, "gen(0) ⇝ {}", roots=(ast.Gen,)),
     ]
 
 

@@ -190,16 +190,23 @@ def array_rules(assume_error_free: bool = False) -> List[Rule]:
     """The array rule base: β^p, η^p, δ^p and literal folds."""
     return [
         Rule("beta-p", _beta_p,
-             "[[e1|i<e2]][e3] ⇝ if e3<e2 then e1{i:=e3} else ⊥"),
-        Rule("eta-p", _eta_p, "[[e[i]|i<len e]] ⇝ e"),
+             "[[e1|i<e2]][e3] ⇝ if e3<e2 then e1{i:=e3} else ⊥",
+             roots=(ast.Subscript,)),
+        Rule("eta-p", _eta_p, "[[e[i]|i<len e]] ⇝ e",
+             roots=(ast.Tabulate,)),
         Rule("delta-p", make_delta_p(assume_error_free),
-             "dim([[e1|i<e2]]) ⇝ e2 (e1 error-free)"),
-        Rule("dim-mkarray", _dim_mkarray, "dim of constant literal folds"),
+             "dim([[e1|i<e2]]) ⇝ e2 (e1 error-free)",
+             roots=(ast.Dim,)),
+        Rule("dim-mkarray", _dim_mkarray, "dim of constant literal folds",
+             roots=(ast.Dim,)),
         Rule("subscript-mkarray", _subscript_mkarray,
-             "constant subscript of literal folds"),
+             "constant subscript of literal folds",
+             roots=(ast.Subscript,)),
         Rule("subscript-if", _subscript_if_array,
-             "(if c then A else B)[i] distributes"),
-        Rule("dim-if", _dim_if_array, "dim(if c then A else B) distributes"),
+             "(if c then A else B)[i] distributes",
+             roots=(ast.Subscript,)),
+        Rule("dim-if", _dim_if_array, "dim(if c then A else B) distributes",
+             roots=(ast.Dim,)),
     ]
 
 

@@ -151,13 +151,17 @@ def bounds_rules() -> List[Rule]:
     """The constraint-elimination rule base of Section 5."""
     return [
         Rule("tabulate-bound-elim", _tabulate_bound_elim,
-             "i_j < e_j is true inside its own tabulation"),
+             "i_j < e_j is true inside its own tabulation",
+             roots=(ast.Tabulate,)),
         Rule("gen-bound-elim", _gen_bound_elim,
-             "i < e is true inside ⋃/Σ over gen(e)"),
+             "i < e is true inside ⋃/Σ over gen(e)",
+             roots=(ast.Ext, ast.Sum)),
         Rule("if-branch-elim", _if_branch_elim,
-             "condition is true in then, false in else"),
+             "condition is true in then, false in else",
+             roots=(ast.If,)),
         Rule("monus-bound-elim", _monus_bound_elim,
-             "k < b ∸ a implies a + k < b inside the tabulation"),
+             "k < b ∸ a implies a + k < b inside the tabulation",
+             roots=(ast.Tabulate,)),
     ]
 
 

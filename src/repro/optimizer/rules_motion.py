@@ -99,7 +99,8 @@ def motion_rules() -> List[Rule]:
     """The code-motion rule base (one rule; the engine iterates it)."""
     return [
         Rule("hoist-loop-invariant", _hoist_from_loop,
-             "compute loop-invariant expensive subexpressions once"),
+             "compute loop-invariant expensive subexpressions once",
+             roots=(ast.Tabulate,) + _LOOPS),
     ]
 
 

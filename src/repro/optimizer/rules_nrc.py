@@ -272,36 +272,49 @@ def _bag_union_empty(expr: ast.Expr) -> Optional[ast.Expr]:
 def nrc_rules(assume_error_free: bool = False) -> List[Rule]:
     """The NRC rule base, in application-priority order."""
     return [
-        Rule("beta", _beta, "(λx.e1)(e2) ⇝ e1{x:=e2}"),
-        Rule("proj-tuple", _proj_tuple, "π_i(e1,...,ek) ⇝ e_i"),
-        Rule("if-literal-cond", _if_literal_cond, "if true/false folding"),
+        Rule("beta", _beta, "(λx.e1)(e2) ⇝ e1{x:=e2}",
+             roots=(ast.App,)),
+        Rule("proj-tuple", _proj_tuple, "π_i(e1,...,ek) ⇝ e_i",
+             roots=(ast.Proj,)),
+        Rule("if-literal-cond", _if_literal_cond, "if true/false folding",
+             roots=(ast.If,)),
         Rule("if-bool-branches", _if_bool_branches,
-             "if c then true else false ⇝ c"),
+             "if c then true else false ⇝ c", roots=(ast.If,)),
         Rule("if-nested-same-cond", _if_nested_same_cond,
-             "collapse nested ifs with identical condition"),
+             "collapse nested ifs with identical condition",
+             roots=(ast.If,)),
         Rule("if-same-branches", make_if_same_branches(assume_error_free),
-             "if c then e else e ⇝ e (c error-free)"),
-        Rule("cmp-fold", _cmp_fold, "fold literal comparisons"),
-        Rule("ext-empty-source", _ext_empty_source, "⋃ over {} ⇝ {}"),
+             "if c then e else e ⇝ e (c error-free)", roots=(ast.If,)),
+        Rule("cmp-fold", _cmp_fold, "fold literal comparisons",
+             roots=(ast.Cmp,)),
+        Rule("ext-empty-source", _ext_empty_source, "⋃ over {} ⇝ {}",
+             roots=(ast.Ext,)),
         Rule("ext-empty-body", make_ext_empty_body(assume_error_free),
-             "⋃ of {} bodies ⇝ {}"),
+             "⋃ of {} bodies ⇝ {}", roots=(ast.Ext,)),
         Rule("ext-singleton-source", _ext_singleton_source,
-             "⋃ over singleton ⇝ substitution"),
-        Rule("ext-union-source", _ext_union_source, "⋃ over ∪ distributes"),
-        Rule("ext-if-source", _ext_if_source, "filter promotion"),
-        Rule("ext-ext-fusion", _ext_ext_fusion, "vertical loop fusion"),
-        Rule("ext-eta", _ext_eta, "⋃{{x}|x∈e} ⇝ e"),
-        Rule("union-empty", _union_empty, "∪ unit laws"),
+             "⋃ over singleton ⇝ substitution", roots=(ast.Ext,)),
+        Rule("ext-union-source", _ext_union_source, "⋃ over ∪ distributes",
+             roots=(ast.Ext,)),
+        Rule("ext-if-source", _ext_if_source, "filter promotion",
+             roots=(ast.Ext,)),
+        Rule("ext-ext-fusion", _ext_ext_fusion, "vertical loop fusion",
+             roots=(ast.Ext,)),
+        Rule("ext-eta", _ext_eta, "⋃{{x}|x∈e} ⇝ e", roots=(ast.Ext,)),
+        Rule("union-empty", _union_empty, "∪ unit laws",
+             roots=(ast.Union,)),
         Rule("horizontal-fusion", _horizontal_fusion,
-             "merge unions of loops over the same source"),
-        Rule("get-singleton", _get_singleton, "get({e}) ⇝ e"),
+             "merge unions of loops over the same source",
+             roots=(ast.Union,)),
+        Rule("get-singleton", _get_singleton, "get({e}) ⇝ e",
+             roots=(ast.Get,)),
         Rule("bag-ext-empty-source", _bag_ext_empty_source,
-             "⊎ over {||} ⇝ {||}"),
+             "⊎ over {||} ⇝ {||}", roots=(ast.BagExt,)),
         Rule("bag-ext-singleton-source", _bag_ext_singleton_source,
-             "⊎ over singleton bag ⇝ substitution"),
+             "⊎ over singleton bag ⇝ substitution", roots=(ast.BagExt,)),
         Rule("bag-ext-union-source", _bag_ext_union_source,
-             "⊎ over ⊎ distributes"),
-        Rule("bag-union-empty", _bag_union_empty, "⊎ unit laws"),
+             "⊎ over ⊎ distributes", roots=(ast.BagExt,)),
+        Rule("bag-union-empty", _bag_union_empty, "⊎ unit laws",
+             roots=(ast.BagUnion,)),
     ]
 
 

@@ -11,10 +11,12 @@ Commands: ``:quit`` exits, ``:macros`` lists registered macros,
 ``:readers`` / ``:writers`` list drivers, ``:noopt`` / ``:opt`` toggle
 the optimizer, ``:load FILE`` runs an AQL script into the session,
 ``:cache`` prints the plan-cache occupancy and counters (``:cache
-clear`` empties it — see ``docs/PLAN_CACHE.md``), and ``:profile
-QUERY;`` runs a statement with observability on and prints the EXPLAIN
-report (optimized core, per-stage spans, rule firings, evaluator
-counters — see ``docs/OBSERVABILITY.md``).
+clear`` empties it — see ``docs/PLAN_CACHE.md``), ``:parallel
+[WORKERS [BACKEND [MIN_CELLS]]]`` shows or tunes the sharded executor
+(see ``docs/PARALLEL.md``), and ``:profile QUERY;`` runs a statement
+with observability on and prints the EXPLAIN report (optimized core,
+per-stage spans, rule firings, evaluator counters — see
+``docs/OBSERVABILITY.md``).
 
 Non-interactive use: ``aql script.aql [more.aql ...]`` executes the
 scripts and exits (the paper's batch view of the same top level).
@@ -32,6 +34,44 @@ BANNER = (
     "(reproduction of Libkin, Machlin & Wong, SIGMOD 1996)\n"
     "statements end with ';'   :quit exits\n"
 )
+
+
+def parallel_command(session: Session, args: str) -> str:
+    """Implement ``:parallel`` — show or tune the sharded executor.
+
+    ``:parallel`` prints the current config; ``:parallel WORKERS
+    [BACKEND] [MIN_CELLS]`` updates it (``:parallel 4 process``,
+    ``:parallel 0`` back to serial).  See ``docs/PARALLEL.md``.
+    """
+    from repro.core import parallel
+    from repro.core.fastpath import PARALLEL_BACKENDS
+
+    config = session.env.parallel
+    if args:
+        fields = args.split()
+        try:
+            workers = int(fields[0])
+            if workers < 0:
+                raise ValueError
+        except ValueError:
+            return f"workers must be a non-negative int, got {fields[0]!r}"
+        backend = config.backend
+        if len(fields) > 1:
+            backend = fields[1]
+            if backend not in PARALLEL_BACKENDS:
+                return (f"unknown backend {backend!r} (expected one of "
+                        f"{', '.join(PARALLEL_BACKENDS)})")
+        if len(fields) > 2:
+            try:
+                config.min_cells = int(fields[2])
+            except ValueError:
+                return f"min_cells must be an int, got {fields[2]!r}"
+        config.workers = workers
+        config.backend = backend
+    state = "enabled" if parallel.ENABLED else \
+        "disabled (REPRO_NO_PARALLEL=1)"
+    return (f"parallel {state}: workers={config.workers} "
+            f"backend={config.backend} min_cells={config.min_cells}")
 
 
 def run_file(session: Session, path: str) -> bool:
@@ -103,6 +143,10 @@ def main(argv=None) -> int:
             if stripped == ":cache clear":
                 session.plan_cache.clear()
                 print("plan cache cleared")
+                continue
+            if stripped == ":parallel" or stripped.startswith(":parallel "):
+                print(parallel_command(session,
+                                       stripped[len(":parallel"):].strip()))
                 continue
             print(f"unknown command {stripped!r}")
             continue

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.core import ast
+from repro.core.fastpath import PARALLEL_BACKENDS
 from repro.core.printer import pprint
 from repro.env.environment import TopEnv
 from repro.errors import BottomError, SessionError
@@ -92,9 +93,39 @@ class Session:
 
     def __init__(self, env: Optional[TopEnv] = None, optimize: bool = True,
                  backend: str = "interpreter",
-                 plan_cache_capacity: int = DEFAULT_CAPACITY):
+                 plan_cache_capacity: int = DEFAULT_CAPACITY,
+                 parallel_workers: Optional[int] = None,
+                 parallel_backend: Optional[str] = None,
+                 min_cells: Optional[int] = None):
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
+        # fast-path tuning mutates the TopEnv's shared DispatchConfig in
+        # place: every evaluator the env hands out (including compiled
+        # plans already resident in the cache) reads it at dispatch time
+        if parallel_backend is not None:
+            if parallel_backend not in PARALLEL_BACKENDS:
+                raise SessionError(
+                    f"unknown parallel backend {parallel_backend!r} "
+                    f"(expected one of {', '.join(PARALLEL_BACKENDS)})"
+                )
+            self.env.parallel.backend = parallel_backend
+        if parallel_workers is not None:
+            if not isinstance(parallel_workers, int) \
+                    or isinstance(parallel_workers, bool) \
+                    or parallel_workers < 0:
+                raise SessionError(
+                    f"parallel_workers must be a non-negative int, "
+                    f"got {parallel_workers!r}"
+                )
+            self.env.parallel.workers = parallel_workers
+        if min_cells is not None:
+            if not isinstance(min_cells, int) \
+                    or isinstance(min_cells, bool) or min_cells < 0:
+                raise SessionError(
+                    f"min_cells must be a non-negative int, "
+                    f"got {min_cells!r}"
+                )
+            self.env.parallel.min_cells = min_cells
         self._desugarer = Desugarer()
         #: the optimized core of the most recent compilation (EXPLAIN)
         self._last_core: Optional[ast.Expr] = None

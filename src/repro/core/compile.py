@@ -21,7 +21,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from repro.core import ast
 from repro.core import kernels
 from repro.core import parallel
-from repro.core.eval import NativePrim, apply_arith, index_set
+from repro.core import setops
+from repro.core.eval import NativePrim, apply_arith, index_set_dispatch
 from repro.core.fastpath import DEFAULT_CONFIG, DispatchConfig
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
@@ -175,14 +176,44 @@ class Compiler:
     def _ext(self, expr: ast.Ext, scope) -> Code:
         source = self.compile(expr.source, scope)
         body = self.compile(expr.body, scope + (expr.var,))
+        # join recognition happens once, at compile time (the kill
+        # switch is compile-time too: it cannot be un-thrown within a
+        # process); the emitted code still gates per run on the live
+        # config and falls through to the naive loop
+        shape = setops.recognize_join(expr) if setops.ENABLED else None
+        if shape is None:
+            def run(env):
+                out: set = set()
+                for element in source(env):
+                    out |= body(env + [element])
+                return frozenset(out)
 
-        def run(env):
+            return run
+
+        pieces = None
+        if self.probe is None:
+            try:
+                pieces = setops.compile_join_pieces(self, expr, shape, scope)
+            except Exception:
+                shape = None  # compile like the naive loop would
+        config = self.parallel
+        compiler = self
+        ext_scope = scope
+
+        def run_join(env):
+            src = source(env)
+            if (shape is not None and isinstance(src, frozenset)
+                    and len(src) >= 2 and setops.available(config)):
+                result = setops.join_compiled(
+                    compiler, expr, shape, ext_scope, pieces, env, src)
+                if result is not None:
+                    return result
             out: set = set()
-            for element in source(env):
+            for element in src:
                 out |= body(env + [element])
             return frozenset(out)
 
-        return run
+        return run_join
 
     # -- booleans and conditionals ------------------------------------------------------
 
@@ -356,17 +387,17 @@ class Compiler:
         inner = self.compile(expr.expr, scope)
         rank = expr.rank
         probe = self.probe
+        config = self.parallel
         if probe is None:
-            return lambda env: index_set(inner(env), rank)
+            return lambda env: index_set_dispatch(inner(env), rank,
+                                                  config)[0]
 
         def run(env):
             source = inner(env)
-            result = index_set(source, rank)
-            probe.on_index(
-                result.size,
-                sum(1 for cell in result.flat if cell),
-                len(source),
-            )
+            result, groups, max_group, sorted_used = index_set_dispatch(
+                source, rank, config)
+            probe.on_index(result.size, groups, len(source),
+                           max_group=max_group, sorted_path=sorted_used)
             return result
 
         return run

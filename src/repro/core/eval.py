@@ -21,7 +21,8 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro.core import ast
 from repro.core import kernels
 from repro.core import parallel
-from repro.core.fastpath import DEFAULT_CONFIG, DispatchConfig
+from repro.core import setops
+from repro.core.fastpath import DEFAULT_CONFIG, DispatchConfig, NodeCache
 from repro.errors import BottomError, EvalError
 from repro.objects.array import Array, iter_indices
 from repro.objects.bag import Bag
@@ -104,9 +105,12 @@ class Evaluator:
         self.prims: Dict[str, NativePrim] = dict(prims or {})
         self.probe = probe
         self.parallel = parallel if parallel is not None else DEFAULT_CONFIG
-        #: memoized kernel recognition, keyed by node identity (the node
-        #: itself is kept so the id cannot be recycled under us)
-        self._kernel_cache: Dict[int, tuple] = {}
+        #: memoized recognition per AST node, LRU-bounded like the plan
+        #: cache so long-lived sessions do not accumulate one entry per
+        #: dead node (see :class:`~repro.core.fastpath.NodeCache` for
+        #: the id-recycling guard)
+        self._kernel_cache = NodeCache()
+        self._join_cache = NodeCache()
         if probe is not None:
             # instance attribute shadows the method: every interior
             # self._eval call routes through the counting wrapper
@@ -214,6 +218,13 @@ class Evaluator:
 
     def _ext(self, expr: ast.Ext, env):
         source = self._eval(expr.source, env)
+        if (isinstance(source, frozenset) and len(source) >= 2
+                and setops.available(self.parallel)):
+            shape = self._join_cache.get(expr, setops.recognize_join)
+            if shape is not None:
+                result = setops.join_interp(self, expr, shape, env, source)
+                if result is not None:
+                    return result
         out: set = set()
         for element in source:
             out |= self._eval(expr.body, Env.extend(env, expr.var, element))
@@ -322,11 +333,7 @@ class Evaluator:
         on its first cell) simply decline so the scalar loop raises the
         canonical error itself.
         """
-        entry = self._kernel_cache.get(id(expr))
-        if entry is None or entry[0] is not expr:
-            entry = (expr, kernels.recognize(expr))
-            self._kernel_cache[id(expr)] = entry
-        kernel = entry[1]
+        kernel = self._kernel_cache.get(expr, kernels.recognize)
         if kernel is None:
             return None
         try:
@@ -358,13 +365,12 @@ class Evaluator:
 
     def _index(self, expr: ast.IndexSet, env):
         source = self._eval(expr.expr, env)
-        result = index_set(source, expr.rank)
+        result, groups, max_group, sorted_used = index_set_dispatch(
+            source, expr.rank, self.parallel)
         if self.probe is not None:
-            self.probe.on_index(
-                result.size,
-                sum(1 for cell in result.flat if cell),
-                len(source),
-            )
+            self.probe.on_index(result.size, groups, len(source),
+                                max_group=max_group,
+                                sorted_path=sorted_used)
         return result
 
     def _get(self, expr: ast.Get, env):
@@ -518,16 +524,15 @@ def apply_arith(op: str, left: Any, right: Any) -> Any:
     raise EvalError(f"arithmetic {op} on {left!r} and {right!r}")
 
 
-def index_set(pairs: frozenset, rank: int) -> Array:
-    """The semantics of ``index_k`` (Section 2).
+def collect_index_pairs(pairs, rank: int):
+    """Validate ``index_k`` input: ``([(key_tuple, value), ...], maxima)``.
 
-    Builds the k-dimensional array whose j-th dimension runs to the maximum
-    j-th key; holes get ``{}``; duplicate keys group all their values.
-    Runs in O(m + n log n) as the paper's cost analysis assumes.
+    Shared by the naive dict grouping below and the sort-based grouping
+    in :mod:`repro.core.setops`, so both paths reject a malformed pair
+    with the identical error at the identical point of the iteration.
     """
-    keyed: Dict[tuple, set] = {}
+    items: list = []
     maxima = [0] * rank
-    empty = True
     for pair in pairs:
         if not isinstance(pair, tuple) or len(pair) != 2:
             raise EvalError(f"index expects (key, value) pairs, got {pair!r}")
@@ -540,17 +545,83 @@ def index_set(pairs: frozenset, rank: int) -> Array:
                 or any(isinstance(k, bool) or not isinstance(k, int) or k < 0
                        for k in key_tuple)):
             raise EvalError(f"bad index key {key!r} for rank {rank}")
-        empty = False
         for axis, position in enumerate(key_tuple):
-            maxima[axis] = max(maxima[axis], position)
+            if position > maxima[axis]:
+                maxima[axis] = position
+        items.append((key_tuple, value))
+    return items, maxima
+
+
+def index_set_stats(pairs, rank: int):
+    """Naive dict-grouping ``index_k``: ``(Array, groups, max_group)``.
+
+    The reference semantics the sort-based path is property-tested
+    against; ``groups`` counts non-empty cells and ``max_group`` is the
+    cardinality of the largest one (after deduplication).
+    """
+    items, maxima = collect_index_pairs(pairs, rank)
+    if not items:
+        return Array((0,) * rank, []), 0, 0
+    return stats_from_items(items, maxima)
+
+
+def stats_from_items(items, maxima):
+    """Dict grouping over pre-validated non-empty ``(key, value)`` items."""
+    keyed: Dict[tuple, set] = {}
+    for key_tuple, value in items:
         keyed.setdefault(key_tuple, set()).add(value)
-    if empty:
-        return Array((0,) * rank, [])
     dims = [m + 1 for m in maxima]
     values = [
         frozenset(keyed.get(index, ())) for index in iter_indices(dims)
     ]
-    return Array(dims, values)
+    max_group = 0
+    for group in keyed.values():
+        if len(group) > max_group:
+            max_group = len(group)
+    return Array(dims, values), len(keyed), max_group
+
+
+def index_set(pairs: frozenset, rank: int) -> Array:
+    """The semantics of ``index_k`` (Section 2).
+
+    Builds the k-dimensional array whose j-th dimension runs to the maximum
+    j-th key; holes get ``{}``; duplicate keys group all their values.
+    Runs in O(m + n log n) as the paper's cost analysis assumes.
+    """
+    return index_set_stats(pairs, rank)[0]
+
+
+def index_set_dispatch(pairs, rank: int, config):
+    """Build an ``index_k`` array the fastest provable way.
+
+    Returns ``(Array, groups, max_group, sorted_used)``.  Validation
+    runs exactly once (it raises the canonical error regardless of
+    path); the sort-based sweep
+    (:func:`repro.core.setops.sorted_from_items`) engages above the
+    ``config.min_cells`` floor and only when holes dominate — the dense
+    extent is at least ``setops.SPARSITY_FACTOR`` times the pair count
+    — because on dense key domains the dict pass is measurably faster
+    (see ``benchmarks/BENCH_index_groupby.json``).  Any failure inside
+    the sweep falls back to the dict path.  Both engines route through
+    here so their results and probe payloads cannot diverge.
+    """
+    items, maxima = collect_index_pairs(pairs, rank)
+    if not items:
+        return Array((0,) * rank, []), 0, 0, False
+    if (setops.available(config) and isinstance(pairs, frozenset)
+            and len(items) >= config.min_cells):
+        cells = 1
+        for m in maxima:
+            cells *= m + 1
+        if cells >= setops.SPARSITY_FACTOR * len(items):
+            try:
+                array, groups, max_group = setops.sorted_from_items(
+                    items, maxima)
+                return array, groups, max_group, True
+            except Exception:
+                pass
+    array, groups, max_group = stats_from_items(items, maxima)
+    return array, groups, max_group, False
 
 
 def evaluate(expr: ast.Expr,
@@ -562,5 +633,6 @@ def evaluate(expr: ast.Expr,
 
 __all__ = [
     "Env", "Closure", "Evaluator", "NativePrim",
-    "apply_arith", "index_set", "evaluate",
+    "apply_arith", "collect_index_pairs", "index_set", "index_set_stats",
+    "stats_from_items", "index_set_dispatch", "evaluate",
 ]

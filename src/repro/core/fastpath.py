@@ -1,14 +1,16 @@
 """Shared gating configuration for the evaluator fast paths.
 
-Two fast paths sit in front of the scalar loops: the numpy-vectorized
-kernel backend (:mod:`repro.core.kernels`) and the sharded parallel
-executor (:mod:`repro.core.parallel`).  Both pay a fixed dispatch cost
-(kernel recognition + grid setup; shard partitioning + pool hand-off),
-so both are gated on the same minimum-cells floor.  Before this module
-existed the floor lived inside ``kernels.py`` and a second fast path
-would inevitably have grown its own copy; extracting it here means the
-two dispatches cannot drift apart, and a single ``Session(min_cells=…)``
-override moves both at once.
+Three fast paths sit in front of the scalar loops: the numpy-vectorized
+kernel backend (:mod:`repro.core.kernels`), the sharded parallel
+executor (:mod:`repro.core.parallel`), and the set-engine layer
+(:mod:`repro.core.setops` — hash equi-joins and sort-based ``index_k``
+grouping).  Each pays a fixed dispatch cost (kernel recognition + grid
+setup; shard partitioning + pool hand-off; join-shape recognition +
+hash-index build), so all are gated on the same minimum-cells floor.
+Before this module existed the floor lived inside ``kernels.py`` and a
+second fast path would inevitably have grown its own copy; extracting it
+here means the dispatches cannot drift apart, and a single
+``Session(min_cells=…)`` override moves them all at once.
 
 A :class:`DispatchConfig` travels from the :class:`~repro.system.session.Session`
 through the :class:`~repro.env.environment.TopEnv` into both evaluation
@@ -20,6 +22,8 @@ plan-cache-resident compiled ones) without recompilation.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
+from typing import Any, Callable
 
 #: the one shared floor: domains/sources smaller than this stay on the
 #: plain scalar loop — recognition, grid setup, and shard dispatch all
@@ -43,6 +47,10 @@ class DispatchConfig:
         ``"thread"`` (default; shares the interpreter, no pickling) or
         ``"process"`` (true CPU parallelism for evaluator-bound bodies,
         at the cost of forking workers and pickling shard inputs).
+    ``setops``
+        Per-session switch for the set-engine fast paths
+        (:mod:`repro.core.setops`); ``REPRO_NO_SETOPS=1`` wins over it
+        process-wide.
 
     One instance is owned by each :class:`~repro.env.environment.TopEnv`
     and handed by reference to every evaluator it builds, so mutating it
@@ -51,13 +59,15 @@ class DispatchConfig:
     keyword surface before mutating the config.
     """
 
-    __slots__ = ("min_cells", "workers", "backend")
+    __slots__ = ("min_cells", "workers", "backend", "setops")
 
     def __init__(self, min_cells: int = DEFAULT_MIN_CELLS,
-                 workers: int = 0, backend: str = "thread"):
+                 workers: int = 0, backend: str = "thread",
+                 setops: bool = True):
         self.min_cells = min_cells
         self.workers = workers
         self.backend = backend
+        self.setops = setops
 
     @classmethod
     def from_env(cls) -> "DispatchConfig":
@@ -88,7 +98,8 @@ class DispatchConfig:
 
     def __repr__(self) -> str:
         return (f"DispatchConfig(min_cells={self.min_cells}, "
-                f"workers={self.workers}, backend={self.backend!r})")
+                f"workers={self.workers}, backend={self.backend!r}, "
+                f"setops={self.setops})")
 
 
 #: the config used by evaluators constructed without an explicit one
@@ -96,6 +107,46 @@ class DispatchConfig:
 #: their own per-:class:`~repro.env.environment.TopEnv` instance
 DEFAULT_CONFIG = DispatchConfig.from_env()
 
+#: bound on the per-evaluator recognition memos below — the same order
+#: of magnitude as the session plan cache's ``DEFAULT_CAPACITY`` (128),
+#: so a long-lived session's recognition state stays proportional to its
+#: cached plans instead of growing with every expression ever evaluated
+NODE_CACHE_CAPACITY = 128
+
+
+class NodeCache:
+    """An LRU memo for per-AST-node recognition results.
+
+    Keys are node identities (``id``), which Python recycles after a
+    node is garbage collected — so each entry stores the node itself
+    alongside its payload.  Holding the node pins its id while the entry
+    lives, and the ``entry[0] is node`` check rejects an entry whose key
+    was recycled after eviction made the pin lapse.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = NODE_CACHE_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node: Any, compute: Callable[[Any], Any]) -> Any:
+        """The memoized ``compute(node)``, recomputed on miss/id reuse."""
+        key = id(node)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is node:
+            self._entries.move_to_end(key)
+            return entry[1]
+        payload = compute(node)
+        self._entries[key] = (node, payload)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return payload
+
 
 __all__ = ["DEFAULT_MIN_CELLS", "PARALLEL_BACKENDS", "DispatchConfig",
-           "DEFAULT_CONFIG"]
+           "DEFAULT_CONFIG", "NODE_CACHE_CAPACITY", "NodeCache"]

@@ -62,10 +62,18 @@ from repro.objects.array import Array, iter_indices
 #: kill switch — mirrors ``kernels.ENABLED`` / ``REPRO_NO_VECTORIZE``
 ENABLED = os.environ.get("REPRO_NO_PARALLEL", "") != "1"
 
-#: the config worker evaluators run under: never parallel (a shard that
-#: re-sharded would deadlock a saturated pool), never vector-gated
-#: differently than the parent
-_SERIAL = DispatchConfig(workers=0)
+def _worker_config(config: DispatchConfig) -> DispatchConfig:
+    """The parent's tuning with sharding turned off.
+
+    Workers must never re-shard (a saturated pool would deadlock), but
+    every other dispatch decision — the vectorization floor, the
+    set-engine switch — must match the parent's, or a sharded run's
+    nested tabulations and group-bys would take different paths (and
+    report different counters) than the serial run they must agree
+    with.
+    """
+    return DispatchConfig(min_cells=config.min_cells, workers=0,
+                          backend=config.backend, setops=config.setops)
 
 #: set while the current *thread* is executing a shard, so nested
 #: tabulations inside a shard body take the serial path even on the
@@ -328,7 +336,7 @@ def _dispatch_threads(evaluator, probe, config, make_task, shards):
         else:
             worker = Evaluator(evaluator.prims,
                                probe=worker_probes[position],
-                               parallel=_SERIAL)
+                               parallel=_worker_config(config))
         tasks.append(make_task(worker, lo, hi, cancel))
     futures = [pool.submit(_guarded, task) for task in tasks]
     parts = _collect(futures, cancel, "thread", config.workers)
@@ -444,7 +452,7 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
 
                 worker = Compiler(compiler.prims,
                                   probe=worker_probes[position],
-                                  parallel=_SERIAL)
+                                  parallel=_worker_config(config))
                 body = worker.compile(expr.body, scope + expr.vars)
             values: list = []
             if rank == 1:
@@ -508,7 +516,7 @@ def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
 
                 worker = Compiler(compiler.prims,
                                   probe=worker_probes[position],
-                                  parallel=_SERIAL)
+                                  parallel=_worker_config(config))
                 body = worker.compile(expr.body, scope + (expr.var,))
             values: list = []
             for k in range(lo, hi):
@@ -574,8 +582,8 @@ def _process_worker(payload_bytes: bytes):
     from repro.core.eval import Env, Evaluator
 
     try:
-        kind, expr, bindings, extents, lo, hi, elements, probed = \
-            pickle.loads(payload_bytes)
+        (kind, expr, bindings, extents, lo, hi, elements, probed,
+         min_cells, setops_on) = pickle.loads(payload_bytes)
         env = None
         for name, value in bindings:
             env = Env.extend(env, name, value)
@@ -584,7 +592,9 @@ def _process_worker(payload_bytes: bytes):
             from repro.obs.metrics import EvalMetrics
 
             probe = EvalMetrics()
-        worker = Evaluator({}, probe=probe, parallel=_SERIAL)
+        worker_cfg = DispatchConfig(min_cells=min_cells, workers=0,
+                                    setops=setops_on)
+        worker = Evaluator({}, probe=probe, parallel=worker_cfg)
         if kind == "tabulate":
             values = _interp_rows(worker, expr, env, extents, lo, hi, None)
         else:
@@ -644,7 +654,8 @@ def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
     if probed is None:
         return None
     payloads = [
-        ("tabulate", expr, bindings, list(extents), lo, hi, None, probed)
+        ("tabulate", expr, bindings, list(extents), lo, hi, None, probed,
+         config.min_cells, config.setops)
         for lo, hi in shards
     ]
     outcomes = _run_process_shards(payloads, config)
@@ -670,7 +681,7 @@ def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
         return None
     payloads = [
         ("sum", expr, bindings, None, 0, hi - lo, list(elements[lo:hi]),
-         probed)
+         probed, config.min_cells, config.setops)
         for lo, hi in shards
     ]
     outcomes = _run_process_shards(payloads, config)

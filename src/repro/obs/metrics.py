@@ -73,9 +73,20 @@ class EvalProbe:
         """
         return None
 
-    def on_index(self, cells: int, groups: int, pairs: int) -> None:
+    def on_index(self, cells: int, groups: int, pairs: int,
+                 max_group: int = 0, sorted_path: bool = False) -> None:
         """An ``index_k`` built ``cells`` cells grouping ``pairs`` pairs
-        into ``groups`` non-empty groups."""
+        into ``groups`` non-empty groups, the largest holding
+        ``max_group`` distinct values; ``sorted_path`` reports whether
+        the sort-based grouping (:mod:`repro.core.setops`) built it
+        instead of the naive dict."""
+
+    def on_join(self, pairs_matched: int, pairs_skipped: int) -> None:
+        """A nested set comprehension executed as a hash equi-join
+        (:mod:`repro.core.setops`): of the |S|·|T| candidate pairs the
+        naive loops would have tested, ``pairs_matched`` matched the
+        join keys (their bodies ran) and ``pairs_skipped`` were skipped
+        by the hash index without evaluating anything."""
 
     def on_bottom(self, reason: str) -> None:
         """A ⊥ (:class:`~repro.errors.BottomError`) was raised."""
@@ -91,7 +102,9 @@ class EvalMetrics(EvalProbe):
                  "cells_vectorized", "tabulations", "tabulations_vectorized",
                  "shards_executed", "cells_parallel",
                  "index_groupbys", "index_cells",
-                 "index_groups", "index_pairs", "max_group_size",
+                 "index_groups", "index_pairs", "index_sorted",
+                 "max_group_size", "joins_hashed", "join_pairs_matched",
+                 "join_pairs_skipped",
                  "bottom_raises", "bottom_reasons", "collections_touched",
                  "collection_elements", "max_collection_size")
 
@@ -108,7 +121,11 @@ class EvalMetrics(EvalProbe):
         self.index_cells = 0
         self.index_groups = 0
         self.index_pairs = 0
+        self.index_sorted = 0
         self.max_group_size = 0
+        self.joins_hashed = 0
+        self.join_pairs_matched = 0
+        self.join_pairs_skipped = 0
         self.bottom_raises = 0
         self.bottom_reasons: Dict[str, int] = {}
         self.collections_touched = 0
@@ -167,7 +184,11 @@ class EvalMetrics(EvalProbe):
         self.index_cells += other.index_cells
         self.index_groups += other.index_groups
         self.index_pairs += other.index_pairs
+        self.index_sorted += other.index_sorted
         self.max_group_size = max(self.max_group_size, other.max_group_size)
+        self.joins_hashed += other.joins_hashed
+        self.join_pairs_matched += other.join_pairs_matched
+        self.join_pairs_skipped += other.join_pairs_skipped
         self.bottom_raises += other.bottom_raises
         for reason, count in other.bottom_reasons.items():
             self.bottom_reasons[reason] = \
@@ -177,15 +198,30 @@ class EvalMetrics(EvalProbe):
         self.max_collection_size = max(self.max_collection_size,
                                        other.max_collection_size)
 
-    def on_index(self, cells: int, groups: int, pairs: int) -> None:
-        """Count one ``index_k`` group-by and its sizes."""
+    def on_index(self, cells: int, groups: int, pairs: int,
+                 max_group: int = 0, sorted_path: bool = False) -> None:
+        """Count one ``index_k`` group-by and its sizes.
+
+        ``max_group`` is the engine-measured largest group (the old
+        ``pairs - groups + 1`` derived bound overstated it whenever
+        more than one group held duplicates); an instrumented caller
+        that cannot measure may pass 0, which leaves the watermark
+        untouched.
+        """
         self.index_groupbys += 1
         self.index_cells += cells
         self.index_groups += groups
         self.index_pairs += pairs
-        if groups:
-            # mean pairs per non-empty group bounds the largest group
-            self.max_group_size = max(self.max_group_size, pairs - groups + 1)
+        if sorted_path:
+            self.index_sorted += 1
+        if max_group > self.max_group_size:
+            self.max_group_size = max_group
+
+    def on_join(self, pairs_matched: int, pairs_skipped: int) -> None:
+        """Count one hash-executed equi-join and its pair economy."""
+        self.joins_hashed += 1
+        self.join_pairs_matched += pairs_matched
+        self.join_pairs_skipped += pairs_skipped
 
     def on_bottom(self, reason: str) -> None:
         """Count one raised ⊥, bucketed by its reason string."""
@@ -220,6 +256,11 @@ class EvalMetrics(EvalProbe):
             "index_cells": self.index_cells,
             "index_groups": self.index_groups,
             "index_pairs": self.index_pairs,
+            "index_sorted": self.index_sorted,
+            "max_group_size": self.max_group_size,
+            "joins_hashed": self.joins_hashed,
+            "join_pairs_matched": self.join_pairs_matched,
+            "join_pairs_skipped": self.join_pairs_skipped,
             "bottom_raises": self.bottom_raises,
             "bottom_reasons": dict(sorted(self.bottom_reasons.items())),
             "collections_touched": self.collections_touched,
@@ -239,7 +280,11 @@ class EvalMetrics(EvalProbe):
             f"({self.cells_parallel} cells)",
             f"index_k group-bys     {self.index_groupbys} "
             f"({self.index_pairs} pairs -> {self.index_groups} groups, "
-            f"{self.index_cells} cells)",
+            f"{self.index_cells} cells, max group {self.max_group_size}, "
+            f"{self.index_sorted} sorted)",
+            f"hash joins            {self.joins_hashed} "
+            f"({self.join_pairs_matched} pairs matched, "
+            f"{self.join_pairs_skipped} skipped)",
             f"bottom raises         {self.bottom_raises}",
             f"collections touched   {self.collections_touched} "
             f"({self.collection_elements} elements, "

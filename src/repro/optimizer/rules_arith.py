@@ -71,13 +71,27 @@ def _sum_empty_source(expr: ast.Expr) -> Optional[ast.Expr]:
     return None
 
 
-def _sum_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
-    """``Σ{e1 | x ∈ {e2}} ⇝ e1{x := e2}`` (duplication-guarded like β)."""
-    if isinstance(expr, ast.Sum) and isinstance(expr.source, ast.Singleton):
-        occurrences = effective_occurrences(expr.body, expr.var)
-        if occurrences <= 1 or is_duplication_safe(expr.source.expr):
-            return ast.substitute(expr.body, {expr.var: expr.source.expr})
-    return None
+def make_sum_singleton_source(assume_error_free: bool):
+    """``Σ{e1 | x ∈ {e2}} ⇝ e1{x := e2}`` (duplication-guarded like β).
+
+    Same strictness guard as the ⋃ mirror: the original always
+    evaluates ``e2``, the substituted body may not (dead or
+    conditionally-dead ``x``), so the strict pipeline also requires
+    ``e2`` error-free.
+    """
+
+    def _sum_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, ast.Sum) \
+                and isinstance(expr.source, ast.Singleton) \
+                and (assume_error_free
+                     or is_error_free(expr.source.expr)):
+            occurrences = effective_occurrences(expr.body, expr.var)
+            if occurrences <= 1 or is_duplication_safe(expr.source.expr):
+                return ast.substitute(expr.body,
+                                      {expr.var: expr.source.expr})
+        return None
+
+    return _sum_singleton_source
 
 
 def _sum_if_source(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -130,7 +144,8 @@ def arith_rules(assume_error_free: bool = False) -> List[Rule]:
              roots=(ast.Arith,)),
         Rule("sum-empty-source", _sum_empty_source, "Σ over {} ⇝ 0",
              roots=(ast.Sum,)),
-        Rule("sum-singleton-source", _sum_singleton_source,
+        Rule("sum-singleton-source",
+             make_sum_singleton_source(assume_error_free),
              "Σ over singleton ⇝ substitution", roots=(ast.Sum,)),
         Rule("sum-if-source", _sum_if_source, "Σ filter promotion",
              roots=(ast.Sum,)),

@@ -27,22 +27,36 @@ from repro.optimizer.analysis import is_error_free
 from repro.optimizer.engine import Rule
 
 
-def _beta_p(expr: ast.Expr) -> Optional[ast.Expr]:
+def make_beta_p(assume_error_free: bool):
     """β^p, k-dimensional: subscripting a tabulation becomes bound checks
-    around the substituted body."""
-    if not (isinstance(expr, ast.Subscript)
-            and isinstance(expr.array, ast.Tabulate)):
-        return None
-    tab = expr.array
-    if len(expr.indices) != tab.rank:
-        return None
-    mapping = dict(zip(tab.vars, expr.indices))
-    result: ast.Expr = ast.substitute(tab.body, mapping)
-    # innermost check is for the last dimension, matching the paper's
-    # left-to-right check order after nesting
-    for index, bound in zip(reversed(expr.indices), reversed(tab.bounds)):
-        result = ast.If(ast.Cmp("<", index, bound), result, ast.Bottom())
-    return result
+    around the substituted body.
+
+    Strictness guard: the original materializes *every* cell, the
+    rewrite evaluates the body at one index — a ⊥ raised by some other
+    cell would be erased, so the strict pipeline requires the body
+    error-free.  (The bound checks are preserved either way.)
+    """
+
+    def _beta_p(expr: ast.Expr) -> Optional[ast.Expr]:
+        if not (isinstance(expr, ast.Subscript)
+                and isinstance(expr.array, ast.Tabulate)):
+            return None
+        tab = expr.array
+        if len(expr.indices) != tab.rank:
+            return None
+        if not (assume_error_free or is_error_free(tab.body)):
+            return None
+        mapping = dict(zip(tab.vars, expr.indices))
+        result: ast.Expr = ast.substitute(tab.body, mapping)
+        # innermost check is for the last dimension, matching the paper's
+        # left-to-right check order after nesting
+        for index, bound in zip(reversed(expr.indices),
+                                reversed(tab.bounds)):
+            result = ast.If(ast.Cmp("<", index, bound), result,
+                            ast.Bottom())
+        return result
+
+    return _beta_p
 
 
 def _eta_p(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -104,55 +118,84 @@ def make_delta_p(assume_error_free: bool):
     return _delta_p
 
 
-def _dim_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
-    """``dim`` of a literal array with constant, consistent dims folds."""
-    if not (isinstance(expr, ast.Dim)
-            and isinstance(expr.expr, ast.MkArray)):
-        return None
-    literal = expr.expr
-    if expr.rank != literal.rank:
-        return None
-    expected = 1
-    for dim in literal.dims:
-        if not isinstance(dim, ast.NatLit):
+def make_dim_mkarray(assume_error_free: bool):
+    """``dim`` of a literal array with constant, consistent dims folds.
+
+    Strictness guard: the original materializes the items before taking
+    ``dim``, so the strict pipeline requires them error-free — folding
+    away an item that raises ⊥ would erase the error.
+    """
+
+    def _dim_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
+        if not (isinstance(expr, ast.Dim)
+                and isinstance(expr.expr, ast.MkArray)):
             return None
-        expected *= dim.value
-    if expected != len(literal.items):
-        return None  # the literal is ⊥; leave it for evaluation to report
-    if expr.rank == 1:
-        return literal.dims[0]
-    return ast.TupleE(literal.dims)
+        literal = expr.expr
+        if expr.rank != literal.rank:
+            return None
+        expected = 1
+        for dim in literal.dims:
+            if not isinstance(dim, ast.NatLit):
+                return None
+            expected *= dim.value
+        if expected != len(literal.items):
+            return None  # the literal is ⊥; leave it for evaluation
+        if not (assume_error_free
+                or all(is_error_free(item) for item in literal.items)):
+            return None
+        if expr.rank == 1:
+            return literal.dims[0]
+        return ast.TupleE(literal.dims)
+
+    return _dim_mkarray
 
 
-def _subscript_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
-    """Constant subscript into a constant-dims literal folds to the item."""
-    if not (isinstance(expr, ast.Subscript)
-            and isinstance(expr.array, ast.MkArray)):
-        return None
-    literal = expr.array
-    if len(expr.indices) != literal.rank:
-        return None
-    dims: List[int] = []
-    for dim in literal.dims:
-        if not isinstance(dim, ast.NatLit):
+def make_subscript_mkarray(assume_error_free: bool):
+    """Constant subscript into a constant-dims literal folds to the item.
+
+    Strictness guard: the original materializes every item before
+    subscripting, the fold keeps only the selected one — the strict
+    pipeline requires the discarded items error-free.
+    """
+
+    def _subscript_mkarray(expr: ast.Expr) -> Optional[ast.Expr]:
+        if not (isinstance(expr, ast.Subscript)
+                and isinstance(expr.array, ast.MkArray)):
             return None
-        dims.append(dim.value)
-    expected = 1
-    for d in dims:
-        expected *= d
-    if expected != len(literal.items):
-        return None
-    offsets: List[int] = []
-    for index in expr.indices:
-        if not isinstance(index, ast.NatLit):
+        literal = expr.array
+        if len(expr.indices) != literal.rank:
             return None
-        offsets.append(index.value)
-    if any(o >= d for o, d in zip(offsets, dims)):
-        return ast.Bottom()
-    flat = 0
-    for offset, dim in zip(offsets, dims):
-        flat = flat * dim + offset
-    return literal.items[flat]
+        dims: List[int] = []
+        for dim in literal.dims:
+            if not isinstance(dim, ast.NatLit):
+                return None
+            dims.append(dim.value)
+        expected = 1
+        for d in dims:
+            expected *= d
+        if expected != len(literal.items):
+            return None
+        offsets: List[int] = []
+        for index in expr.indices:
+            if not isinstance(index, ast.NatLit):
+                return None
+            offsets.append(index.value)
+        if any(o >= d for o, d in zip(offsets, dims)):
+            if assume_error_free \
+                    or all(is_error_free(item) for item in literal.items):
+                return ast.Bottom()
+            return None
+        flat = 0
+        for offset, dim in zip(offsets, dims):
+            flat = flat * dim + offset
+        if not (assume_error_free
+                or all(is_error_free(item)
+                       for pos, item in enumerate(literal.items)
+                       if pos != flat)):
+            return None
+        return literal.items[flat]
+
+    return _subscript_mkarray
 
 
 def _subscript_if_array(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -189,7 +232,7 @@ def _dim_if_array(expr: ast.Expr) -> Optional[ast.Expr]:
 def array_rules(assume_error_free: bool = False) -> List[Rule]:
     """The array rule base: β^p, η^p, δ^p and literal folds."""
     return [
-        Rule("beta-p", _beta_p,
+        Rule("beta-p", make_beta_p(assume_error_free),
              "[[e1|i<e2]][e3] ⇝ if e3<e2 then e1{i:=e3} else ⊥",
              roots=(ast.Subscript,)),
         Rule("eta-p", _eta_p, "[[e[i]|i<len e]] ⇝ e",
@@ -197,9 +240,10 @@ def array_rules(assume_error_free: bool = False) -> List[Rule]:
         Rule("delta-p", make_delta_p(assume_error_free),
              "dim([[e1|i<e2]]) ⇝ e2 (e1 error-free)",
              roots=(ast.Dim,)),
-        Rule("dim-mkarray", _dim_mkarray, "dim of constant literal folds",
+        Rule("dim-mkarray", make_dim_mkarray(assume_error_free),
+             "dim of constant literal folds",
              roots=(ast.Dim,)),
-        Rule("subscript-mkarray", _subscript_mkarray,
+        Rule("subscript-mkarray", make_subscript_mkarray(assume_error_free),
              "constant subscript of literal folds",
              roots=(ast.Subscript,)),
         Rule("subscript-if", _subscript_if_array,

@@ -27,7 +27,7 @@ from repro.optimizer.engine import Rule
 _LITERALS = (ast.NatLit, ast.RealLit, ast.StrLit, ast.BoolLit)
 
 
-def _beta(expr: ast.Expr) -> Optional[ast.Expr]:
+def make_beta(assume_error_free: bool):
     """``(λx.e1)(e2) ⇝ e1{x := e2}``.
 
     Guarded against *work duplication*: when the bound variable occurs
@@ -36,20 +36,46 @@ def _beta(expr: ast.Expr) -> Optional[ast.Expr]:
     array of Section 2's ``hist'`` would be rebuilt for every bin,
     destroying the O(m + n log n) bound.  Such redexes are left alone;
     the evaluator's closure application shares the argument value.
+
+    Strictness guard: application is call-by-value, so the original
+    always evaluates ``e2``; after substitution a dead (or
+    conditionally dead) ``x`` would erase a ⊥ the original raises.
+    The strictly-sound pipeline requires ``e2`` error-free.
     """
-    if isinstance(expr, ast.App) and isinstance(expr.fn, ast.Lam):
-        occurrences = effective_occurrences(expr.fn.body, expr.fn.param)
-        if occurrences <= 1 or is_duplication_safe(expr.arg):
-            return ast.substitute(expr.fn.body, {expr.fn.param: expr.arg})
-    return None
+
+    def _beta(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, ast.App) and isinstance(expr.fn, ast.Lam) \
+                and (assume_error_free or is_error_free(expr.arg)):
+            occurrences = effective_occurrences(expr.fn.body,
+                                                expr.fn.param)
+            if occurrences <= 1 or is_duplication_safe(expr.arg):
+                return ast.substitute(expr.fn.body,
+                                      {expr.fn.param: expr.arg})
+        return None
+
+    return _beta
 
 
-def _proj_tuple(expr: ast.Expr) -> Optional[ast.Expr]:
-    """``π_i(e1, ..., ek) ⇝ e_i`` (the π rule used in Section 5)."""
-    if isinstance(expr, ast.Proj) and isinstance(expr.expr, ast.TupleE):
-        if len(expr.expr.items) == expr.arity:
-            return expr.expr.items[expr.index - 1]
-    return None
+def make_proj_tuple(assume_error_free: bool):
+    """``π_i(e1, ..., ek) ⇝ e_i`` (the π rule used in Section 5).
+
+    Strictness guard: the original evaluates every component, the
+    rewrite only ``e_i`` — the strict pipeline requires the discarded
+    components error-free so no ⊥ is erased.
+    """
+
+    def _proj_tuple(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, ast.Proj) and isinstance(expr.expr, ast.TupleE):
+            items = expr.expr.items
+            if len(items) == expr.arity \
+                    and (assume_error_free
+                         or all(is_error_free(item)
+                                for pos, item in enumerate(items)
+                                if pos != expr.index - 1)):
+                return items[expr.index - 1]
+        return None
+
+    return _proj_tuple
 
 
 def _ext_empty_source(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -71,13 +97,27 @@ def make_ext_empty_body(assume_error_free: bool):
     return _ext_empty_body
 
 
-def _ext_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
-    """``⋃{e1 | x ∈ {e2}} ⇝ e1{x := e2}`` (duplication-guarded like β)."""
-    if isinstance(expr, ast.Ext) and isinstance(expr.source, ast.Singleton):
-        occurrences = effective_occurrences(expr.body, expr.var)
-        if occurrences <= 1 or is_duplication_safe(expr.source.expr):
-            return ast.substitute(expr.body, {expr.var: expr.source.expr})
-    return None
+def make_ext_singleton_source(assume_error_free: bool):
+    """``⋃{e1 | x ∈ {e2}} ⇝ e1{x := e2}`` (duplication-guarded like β).
+
+    Strictness guard: the original always evaluates ``e2`` (the source
+    is built before the loop runs), but the substituted body may never
+    reach it — ``x`` can be dead, or live only under an untaken ``if``
+    branch — which would erase a ⊥ that the original raises.  The
+    strictly-sound pipeline therefore also requires ``e2`` error-free.
+    """
+
+    def _ext_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, ast.Ext) \
+                and isinstance(expr.source, ast.Singleton) \
+                and (assume_error_free or is_error_free(expr.source.expr)):
+            occurrences = effective_occurrences(expr.body, expr.var)
+            if occurrences <= 1 or is_duplication_safe(expr.source.expr):
+                return ast.substitute(expr.body,
+                                      {expr.var: expr.source.expr})
+        return None
+
+    return _ext_singleton_source
 
 
 def _ext_union_source(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -244,11 +284,21 @@ def _bag_ext_empty_source(expr: ast.Expr) -> Optional[ast.Expr]:
     return None
 
 
-def _bag_ext_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
-    if isinstance(expr, ast.BagExt) \
-            and isinstance(expr.source, ast.SingletonBag):
-        return ast.substitute(expr.body, {expr.var: expr.source.expr})
-    return None
+def make_bag_ext_singleton_source(assume_error_free: bool):
+    """Bag mirror of :func:`make_ext_singleton_source`, same guard."""
+
+    def _bag_ext_singleton_source(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, ast.BagExt) \
+                and isinstance(expr.source, ast.SingletonBag) \
+                and (assume_error_free
+                     or is_error_free(expr.source.expr)):
+            occurrences = effective_occurrences(expr.body, expr.var)
+            if occurrences <= 1 or is_duplication_safe(expr.source.expr):
+                return ast.substitute(expr.body,
+                                      {expr.var: expr.source.expr})
+        return None
+
+    return _bag_ext_singleton_source
 
 
 def _bag_ext_union_source(expr: ast.Expr) -> Optional[ast.Expr]:
@@ -272,9 +322,11 @@ def _bag_union_empty(expr: ast.Expr) -> Optional[ast.Expr]:
 def nrc_rules(assume_error_free: bool = False) -> List[Rule]:
     """The NRC rule base, in application-priority order."""
     return [
-        Rule("beta", _beta, "(λx.e1)(e2) ⇝ e1{x:=e2}",
+        Rule("beta", make_beta(assume_error_free),
+             "(λx.e1)(e2) ⇝ e1{x:=e2}",
              roots=(ast.App,)),
-        Rule("proj-tuple", _proj_tuple, "π_i(e1,...,ek) ⇝ e_i",
+        Rule("proj-tuple", make_proj_tuple(assume_error_free),
+             "π_i(e1,...,ek) ⇝ e_i",
              roots=(ast.Proj,)),
         Rule("if-literal-cond", _if_literal_cond, "if true/false folding",
              roots=(ast.If,)),
@@ -291,7 +343,8 @@ def nrc_rules(assume_error_free: bool = False) -> List[Rule]:
              roots=(ast.Ext,)),
         Rule("ext-empty-body", make_ext_empty_body(assume_error_free),
              "⋃ of {} bodies ⇝ {}", roots=(ast.Ext,)),
-        Rule("ext-singleton-source", _ext_singleton_source,
+        Rule("ext-singleton-source",
+             make_ext_singleton_source(assume_error_free),
              "⋃ over singleton ⇝ substitution", roots=(ast.Ext,)),
         Rule("ext-union-source", _ext_union_source, "⋃ over ∪ distributes",
              roots=(ast.Ext,)),
@@ -309,7 +362,8 @@ def nrc_rules(assume_error_free: bool = False) -> List[Rule]:
              roots=(ast.Get,)),
         Rule("bag-ext-empty-source", _bag_ext_empty_source,
              "⊎ over {||} ⇝ {||}", roots=(ast.BagExt,)),
-        Rule("bag-ext-singleton-source", _bag_ext_singleton_source,
+        Rule("bag-ext-singleton-source",
+             make_bag_ext_singleton_source(assume_error_free),
              "⊎ over singleton bag ⇝ substitution", roots=(ast.BagExt,)),
         Rule("bag-ext-union-source", _bag_ext_union_source,
              "⊎ over ⊎ distributes", roots=(ast.BagExt,)),

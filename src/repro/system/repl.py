@@ -13,7 +13,9 @@ the optimizer, ``:load FILE`` runs an AQL script into the session,
 ``:cache`` prints the plan-cache occupancy and counters (``:cache
 clear`` empties it — see ``docs/PLAN_CACHE.md``), ``:parallel
 [WORKERS [BACKEND [MIN_CELLS]]]`` shows or tunes the sharded executor
-(see ``docs/PARALLEL.md``), and ``:profile QUERY;`` runs a statement
+(see ``docs/PARALLEL.md``), ``:setops [on|off]`` shows or toggles the
+set-engine fast paths (hash equi-joins and sort-based ``index_k``
+grouping — see ``docs/SETOPS.md``), and ``:profile QUERY;`` runs a statement
 with observability on and prints the EXPLAIN report (optimized core,
 per-stage spans, rule firings, evaluator counters — see
 ``docs/OBSERVABILITY.md``).
@@ -72,6 +74,29 @@ def parallel_command(session: Session, args: str) -> str:
         "disabled (REPRO_NO_PARALLEL=1)"
     return (f"parallel {state}: workers={config.workers} "
             f"backend={config.backend} min_cells={config.min_cells}")
+
+
+def setops_command(session: Session, args: str) -> str:
+    """Implement ``:setops`` — show or toggle the set-engine fast paths.
+
+    ``:setops`` prints the current state; ``:setops on`` / ``:setops
+    off`` flips the session switch.  The ``REPRO_NO_SETOPS=1`` kill
+    switch wins over the session setting.  See ``docs/SETOPS.md``.
+    """
+    from repro.core import setops
+
+    config = session.env.parallel
+    if args:
+        if args == "on":
+            config.setops = True
+        elif args == "off":
+            config.setops = False
+        else:
+            return f"usage: :setops [on|off] (got {args!r})"
+    state = "enabled" if setops.ENABLED else "disabled (REPRO_NO_SETOPS=1)"
+    return (f"setops {state}: session="
+            f"{'on' if config.setops else 'off'} "
+            f"min_cells={config.min_cells}")
 
 
 def run_file(session: Session, path: str) -> bool:
@@ -147,6 +172,10 @@ def main(argv=None) -> int:
             if stripped == ":parallel" or stripped.startswith(":parallel "):
                 print(parallel_command(session,
                                        stripped[len(":parallel"):].strip()))
+                continue
+            if stripped == ":setops" or stripped.startswith(":setops "):
+                print(setops_command(session,
+                                     stripped[len(":setops"):].strip()))
                 continue
             print(f"unknown command {stripped!r}")
             continue

@@ -96,7 +96,8 @@ class Session:
                  plan_cache_capacity: int = DEFAULT_CAPACITY,
                  parallel_workers: Optional[int] = None,
                  parallel_backend: Optional[str] = None,
-                 min_cells: Optional[int] = None):
+                 min_cells: Optional[int] = None,
+                 setops: Optional[bool] = None):
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
         # fast-path tuning mutates the TopEnv's shared DispatchConfig in
@@ -126,6 +127,12 @@ class Session:
                     f"got {min_cells!r}"
                 )
             self.env.parallel.min_cells = min_cells
+        if setops is not None:
+            if not isinstance(setops, bool):
+                raise SessionError(
+                    f"setops must be a bool, got {setops!r}"
+                )
+            self.env.parallel.setops = setops
         self._desugarer = Desugarer()
         #: the optimized core of the most recent compilation (EXPLAIN)
         self._last_core: Optional[ast.Expr] = None

@@ -111,6 +111,42 @@ class TestMetrics:
         assert payload["node_evals"] == 1
         assert "Sum" in metrics.render()
 
+    def test_index_measures_max_group_and_path(self):
+        metrics = EvalMetrics()
+        metrics.on_index(20, 5, 9, max_group=3, sorted_path=True)
+        metrics.on_index(4, 2, 4, max_group=2, sorted_path=False)
+        assert metrics.index_groupbys == 2
+        assert metrics.index_sorted == 1
+        # the watermark is the measured largest group, not the old
+        # ``pairs - groups + 1`` derived bound (which would claim 5)
+        assert metrics.max_group_size == 3
+        payload = metrics.to_dict()
+        assert payload["index_sorted"] == 1
+        assert payload["max_group_size"] == 3
+
+    def test_join_counters(self):
+        metrics = EvalMetrics()
+        metrics.on_join(8, 392)
+        metrics.on_join(2, 0)
+        assert metrics.joins_hashed == 2
+        assert metrics.join_pairs_matched == 10
+        assert metrics.join_pairs_skipped == 392
+        payload = metrics.to_dict()
+        assert payload["joins_hashed"] == 2
+        assert "hash joins" in metrics.render()
+
+    def test_merge_folds_setops_counters(self):
+        parent, worker = EvalMetrics(), EvalMetrics()
+        parent.on_index(4, 2, 4, max_group=2, sorted_path=True)
+        worker.on_index(6, 3, 7, max_group=4, sorted_path=False)
+        worker.on_join(3, 5)
+        parent.merge(worker)
+        assert parent.index_sorted == 1
+        assert parent.max_group_size == 4
+        assert parent.joins_hashed == 1
+        assert parent.join_pairs_matched == 3
+        assert parent.join_pairs_skipped == 5
+
 
 class TestObservabilitySwitch:
     def test_disabled_hands_out_nulls(self):

@@ -49,8 +49,15 @@ class _PrimShim:
 
     @staticmethod
     def apply_function(fn_value: Any, argument: Any) -> Any:
+        """Apply a compiled function value, mapping host ``ValueError``
+        to ⊥ exactly like the interpreter's ``apply_function`` boundary
+        (a primitive-triggered ``Array`` size mismatch must surface as
+        the calculus's undefined, not a Python crash)."""
         if callable(fn_value):
-            return fn_value(argument)
+            try:
+                return fn_value(argument)
+            except ValueError as exc:
+                raise BottomError(f"host value error: {exc}") from exc
         raise EvalError(f"not a function: {fn_value!r}")
 
 

@@ -143,13 +143,25 @@ class Evaluator:
             raise BottomError(f"host value error: {exc}") from exc
 
     def apply_function(self, fn_value: Any, argument: Any) -> Any:
-        """Apply an AQL function value (closure or native) to an argument."""
-        if isinstance(fn_value, Closure):
-            return self._eval(
-                fn_value.body, Env.extend(fn_value.env, fn_value.param, argument)
-            )
-        if callable(fn_value):
-            return fn_value(argument, self)
+        """Apply an AQL function value (closure or native) to an argument.
+
+        This is a ⊥-mapping boundary like :meth:`run`: a native
+        primitive that trips host complex-object validation (e.g. an
+        ``Array.reshape``/``Array.__init__`` size mismatch raising
+        ``ValueError``) surfaces as the calculus's ⊥, never as a bare
+        Python crash — the entry point is reachable from primitives and
+        API callers without passing through :meth:`run`.
+        """
+        try:
+            if isinstance(fn_value, Closure):
+                return self._eval(
+                    fn_value.body,
+                    Env.extend(fn_value.env, fn_value.param, argument)
+                )
+            if callable(fn_value):
+                return fn_value(argument, self)
+        except ValueError as exc:
+            raise BottomError(f"host value error: {exc}") from exc
         raise EvalError(f"not a function: {fn_value!r}")
 
     # -- the interpreter -----------------------------------------------------

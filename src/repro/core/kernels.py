@@ -23,11 +23,16 @@ Design constraints (see ``docs/VECTOR_BACKEND.md``):
   int64.  The caller then runs the unchanged scalar loop, so error
   behaviour (which cell raises, with which reason) is exactly the
   paper's semantics.
-* **Scalar coercion at the boundary.**  Results are converted back to
-  Python ints/floats (``ndarray.tolist``) before the immutable
-  :class:`~repro.objects.array.Array` is built, so hashing, canonical
-  ordering, and set membership are indistinguishable from the scalar
-  path, and Σ over reals keeps the deterministic fold.
+* **Blocks in, blocks out.**  Operand arrays are gathered from their
+  dense backing blocks (:meth:`Array.dense_block`), and results are
+  published as blocks too — :func:`execute` hands the computed ndarray
+  straight to :class:`~repro.objects.array.Array`, which adopts it
+  zero-copy.  No ``tolist`` round-trip happens on the dense path; boxed
+  elements only materialize if a later consumer asks for ``flat``, and
+  the lazy coercion produces exactly the ints/floats the scalar loop
+  would have stored, so hashing, canonical ordering, and set membership
+  are indistinguishable.  With the store disabled (``REPRO_NO_DENSE=1``)
+  results coerce eagerly, reproducing the historical behaviour.
 
 Semantics preserved cell-for-cell:
 
@@ -52,6 +57,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core import ast
 from repro.core import fastpath
 from repro.errors import EvalError
+from repro.objects import dense
 from repro.objects.array import Array
 
 try:  # pragma: no cover - exercised by the no-numpy CI lane
@@ -72,8 +78,10 @@ ENABLED = os.environ.get("REPRO_NO_VECTORIZE", "") != "1"
 MIN_CELLS = fastpath.DEFAULT_MIN_CELLS
 
 #: conservative magnitude guard: any intermediate whose *interval bound*
-#: could exceed this falls back to the exact Python-int scalar loop
-_INT_GUARD = 2 ** 62
+#: could exceed this falls back to the exact Python-int scalar loop.
+#: Shared with the dense store so block invariants and kernel analysis
+#: agree on what "int64-safe" means.
+_INT_GUARD = dense.INT_GUARD
 
 
 def available() -> bool:
@@ -150,46 +158,25 @@ def _scan(expr: ast.Expr, index_vars: frozenset,
 
 
 # ---------------------------------------------------------------------------
-# dense numeric blocks (cached on the Array instance)
+# dense numeric blocks (the Array backing store, repro.objects.dense)
 # ---------------------------------------------------------------------------
 
 def _dense_block(array: Array):
     """``(ndarray, lo, hi)`` for a homogeneous numeric array, else ⊥fall.
 
-    The block (int64 for all-nat arrays, float64 for all-real ones —
-    *mixed* element kinds are rejected because nat and real arithmetic
-    differ per cell) is cached on the instance, so repeated evaluations
-    of the same tabulation pay the conversion once.
+    Consumes the array's first-class backing block zero-copy: arrays
+    built dense (tabulation results, NetCDF reads) already carry one,
+    and object-backed arrays probe-and-cache on first demand
+    (:meth:`Array.dense_block`).  ``bool`` blocks are rejected — the
+    arithmetic grammar has no boolean operations, and letting a bool
+    buffer into ``_is_int_operand`` would misclassify it as float.
     """
-    cached = array._dense
-    if cached is not None:
-        if cached is False:
-            raise _Fallback()
-        return cached
-    flat = array.flat
-    block = None
-    lo = hi = None
-    if all(type(v) is int for v in flat):
-        try:
-            block = _np.array(flat, dtype=_np.int64)
-        except (OverflowError, ValueError):
-            block = None
-        if block is not None and block.size:
-            lo, hi = int(block.min()), int(block.max())
-            if lo < -_INT_GUARD or hi > _INT_GUARD:
-                block = None
-        elif block is not None:
-            lo = hi = 0
-    elif all(type(v) is float for v in flat):
-        block = _np.array(flat, dtype=_np.float64)
-    if block is None:
-        array._dense = False
+    block = array.dense_block()
+    if block is None or block.tag == dense.TAG_BOOL:
         raise _Fallback()
-    block = block.reshape(array.dims)
-    block.flags.writeable = False
-    entry = (block, lo, hi)
-    array._dense = entry
-    return entry
+    if block.tag == dense.TAG_INT:
+        return block.data, block.lo, block.hi
+    return block.data, None, None
 
 
 # ---------------------------------------------------------------------------
@@ -227,14 +214,19 @@ def execute(kernel: Kernel, extents: Sequence[int],
     except _Fallback:
         return None
     if type(out) is int or type(out) is float:
-        # index-free body: one exact Python scalar replicated over the
-        # domain (numpy scalars take the broadcast+tolist route below,
-        # which coerces them back to builtins)
+        # index-free body: one exact scalar replicated over the domain
+        # (within the int guard, so the int64/float64 fill is lossless)
+        if dense.store_enabled():
+            dtype = _np.int64 if type(out) is int else _np.float64
+            return Array(extents, _np.full(extents, out, dtype=dtype))
         cells: List[Any] = [out] * total
-    else:
-        block = _np.broadcast_to(out, extents)
-        cells = block.ravel().tolist()
-    return Array(extents, cells)
+        return Array(extents, cells)
+    block = _np.broadcast_to(out, extents)
+    if dense.store_enabled():
+        # publish the result as the array's backing block, zero-copy
+        # (ascontiguousarray collapses the broadcast view to a buffer)
+        return Array(extents, _np.ascontiguousarray(block))
+    return Array(extents, block.ravel().tolist())
 
 
 def _check(lo: int, hi: int) -> Tuple[int, int]:

@@ -57,6 +57,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import ast
 from repro.core.fastpath import DispatchConfig
+from repro.objects import dense
 from repro.objects.array import Array, iter_indices
 
 #: kill switch — mirrors ``kernels.ENABLED`` / ``REPRO_NO_VECTORIZE``
@@ -564,6 +565,23 @@ def _scope_bindings(expr, scope: Tuple[str, ...],
 # fresh serial Evaluator in the child.  Anything that cannot make the
 # trip — native primitives in the body, unpicklable environment values —
 # fails the shard, which falls the whole construct back to serial.
+# Array values are probed dense before pickling: a block-backed Array's
+# ``__reduce__`` ships its raw buffer + dtype tag (one memcpy per shard)
+# instead of one object pickle per element.
+
+
+def _prime_dense(values) -> None:
+    """Probe Array values for dense blocks before they hit pickle.
+
+    Idempotent (the probe caches on the instance) and purely an
+    encoding optimization: workers rebuild identical values either way.
+    Skipped when the store is off so that lane keeps the boxed format.
+    """
+    if not dense.store_enabled():
+        return
+    for value in values:
+        if isinstance(value, Array):
+            value.dense_block()
 
 
 def _contains_prim(expr: ast.Expr) -> bool:
@@ -653,6 +671,7 @@ def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
     probed = _probed_for_process(probe)
     if probed is None:
         return None
+    _prime_dense(value for _, value in bindings)
     payloads = [
         ("tabulate", expr, bindings, list(extents), lo, hi, None, probed,
          config.min_cells, config.setops)
@@ -679,6 +698,8 @@ def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
     probed = _probed_for_process(probe)
     if probed is None:
         return None
+    _prime_dense(value for _, value in bindings)
+    _prime_dense(elements)
     payloads = [
         ("sum", expr, bindings, None, 0, hi - lo, list(elements[lo:hi]),
          probed, config.min_cells, config.setops)

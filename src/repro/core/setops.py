@@ -84,6 +84,13 @@ class HashKey:
     ``value_equal(a, b)`` implies ``a == b`` implies
     ``hash(a) == hash(b)``, so equal keys always collide and the dict
     resolves them with :meth:`__eq__`, i.e. with ``value_equal``.
+
+    :class:`~repro.objects.array.Array` keys need no host-hash crutch
+    anymore: its ``__eq__``/``__hash__`` are themselves kind-first
+    (``[[1]]``, ``[[1.0]]`` and ``[[true]]`` hash apart), so array keys
+    of different element kinds usually land in *different* buckets —
+    the wrapper's soundness argument above still holds, collisions just
+    got rarer.
     """
 
     __slots__ = ("value", "_hash")

@@ -136,8 +136,13 @@ def _netcdf_writer(value: Any, args: Any) -> None:
     path, var = args
     if not isinstance(value, Array):
         raise SessionError("NETCDFW can only write arrays")
-    if all(isinstance(v, int) and not isinstance(v, bool)
-           for v in value.flat):
+    block = value.dense_block()
+    if block is not None:
+        # the dtype tag answers the all-ints question without boxing
+        # ("bool" maps to double, as the isinstance scan always did)
+        nc_type = "int" if block.tag == "int" else "double"
+    elif all(isinstance(v, int) and not isinstance(v, bool)
+             for v in value.flat):
         nc_type = "int"
     else:
         nc_type = "double"

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetCDFError
+from repro.objects import dense
 from repro.objects.array import Array
 
 MAGIC = b"CDF"
@@ -52,6 +53,16 @@ _TYPE_INFO = {
     NC_INT: ("i", 4),
     NC_FLOAT: ("f", 4),
     NC_DOUBLE: ("d", 8),
+}
+
+#: external type -> big-endian numpy dtype string (NC_CHAR decodes to
+#: Python chars, never through the dense path)
+_NP_DTYPES = {
+    NC_BYTE: ">i1",
+    NC_SHORT: ">i2",
+    NC_INT: ">i4",
+    NC_FLOAT: ">f4",
+    NC_DOUBLE: ">f8",
 }
 
 #: friendly names accepted by the writer
@@ -130,8 +141,8 @@ class NetCDFDataset:
         shape = self._effective_shape(var)
         if var.rank == 0:
             with open(self.path, "rb") as handle:
-                values = self._read_contiguous(handle, var, var.begin, 1)
-            return Array((1,), values)
+                raw = self._read_raw(handle, var, var.begin, 1)
+            return self._build_array(var, raw, (1,))
         if start is None:
             start = (0,) * len(shape)
         if count is None:
@@ -150,8 +161,8 @@ class NetCDFDataset:
                     f"{name!r} with shape {shape}"
                 )
         with open(self.path, "rb") as handle:
-            values = self._read_subslab(handle, var, shape, start, count)
-        return Array(count, values)
+            raw = self._read_subslab(handle, var, shape, start, count)
+        return self._build_array(var, raw, count)
 
     def _effective_shape(self, var: NetCDFVariable) -> Tuple[int, ...]:
         if var.is_record:
@@ -175,17 +186,40 @@ class NetCDFDataset:
             flat = flat * extent + position
         return var.begin + flat * size
 
-    def _read_contiguous(self, handle: BinaryIO, var: NetCDFVariable,
-                         offset: int, count: int) -> List[Any]:
-        fmt_char, size = _TYPE_INFO[var.nc_type]
+    def _read_raw(self, handle: BinaryIO, var: NetCDFVariable,
+                  offset: int, count: int) -> bytes:
+        """``count`` contiguous external-format elements, as raw bytes."""
+        _, size = _TYPE_INFO[var.nc_type]
         handle.seek(offset)
         raw = handle.read(count * size)
         if len(raw) != count * size:
             raise NetCDFError(
                 f"short read in {self.path} at offset {offset}"
             )
+        return raw
+
+    def _build_array(self, var: NetCDFVariable, raw: bytes,
+                     dims: Tuple[int, ...]) -> Array:
+        """Decode a gathered payload into an :class:`Array`.
+
+        Numeric payloads decode in one ``frombuffer`` pass into the
+        array's dense backing block; with the store off (or for
+        NC_CHAR) the historical per-element struct walk runs instead —
+        the widening casts are exact, so both paths box identical
+        values.
+        """
+        if var.nc_type != NC_CHAR:
+            decoded = dense.decode_bytes(raw, _NP_DTYPES[var.nc_type])
+            if decoded is not None:
+                return Array(dims, decoded)
+        return Array(dims, self._decode_values(var, raw))
+
+    def _decode_values(self, var: NetCDFVariable, raw: bytes) -> List[Any]:
+        """Struct-decode a payload to boxed Python elements."""
+        fmt_char, size = _TYPE_INFO[var.nc_type]
         if var.nc_type == NC_CHAR:
             return [chr(b) for b in raw]
+        count = len(raw) // size
         values = list(struct.unpack(f">{count}{fmt_char}", raw))
         if var.nc_type in (NC_FLOAT, NC_DOUBLE):
             return [float(v) for v in values]
@@ -193,31 +227,31 @@ class NetCDFDataset:
 
     def _read_subslab(self, handle: BinaryIO, var: NetCDFVariable,
                       shape: Tuple[int, ...], start: Tuple[int, ...],
-                      count: Tuple[int, ...]) -> List[Any]:
+                      count: Tuple[int, ...]) -> bytes:
+        """Gather a subslab's raw bytes (row-major, contiguous runs)."""
         if any(c == 0 for c in count):
-            return []
+            return b""
+        chunks: List[bytes] = []
         if var.is_record and len(shape) == 1:
             # the record axis is the only axis: elements are one record
             # apart in the file (not contiguous when several record
             # variables interleave), so read them one at a time
-            values = []
             for record in range(start[0], start[0] + count[0]):
                 offset = self._element_offset(var, (record,))
-                values.extend(self._read_contiguous(handle, var, offset, 1))
-            return values
+                chunks.append(self._read_raw(handle, var, offset, 1))
+            return b"".join(chunks)
         # read row-by-row along the last axis (contiguous runs)
-        values: List[Any] = []
         outer_axes = len(shape) - 1
         index = list(start)
         run = count[-1]
 
         def emit() -> None:
             offset = self._element_offset(var, tuple(index))
-            values.extend(self._read_contiguous(handle, var, offset, run))
+            chunks.append(self._read_raw(handle, var, offset, run))
 
         if outer_axes == 0:
             emit()
-            return values
+            return b"".join(chunks)
         while True:
             emit()
             axis = outer_axes - 1
@@ -228,7 +262,7 @@ class NetCDFDataset:
                 index[axis] = start[axis]
                 axis -= 1
             if axis < 0:
-                return values
+                return b"".join(chunks)
 
 
 # ---------------------------------------------------------------------------
@@ -433,8 +467,15 @@ class _Writer:
 
     # -- data marshalling ------------------------------------------------------
 
-    def _flatten(self, data: Any) -> List[Any]:
+    def _flatten(self, data: Any) -> Any:
+        """Row-major values of ``data``: a list, or a raveled ndarray
+        view of a dense array's backing block (no boxing — the block
+        bulk-encodes in :meth:`_encode_values`)."""
         if isinstance(data, Array):
+            if dense.store_enabled():
+                block = data.dense_block()
+                if block is not None:
+                    return block.data.ravel()
             return list(data.flat)
         if isinstance(data, (list, tuple)):
             flat: List[Any] = []
@@ -488,8 +529,17 @@ class _Writer:
             )
         return tuple(shape), False, 0
 
-    def _encode_values(self, nc_type: int, values: List[Any]) -> bytes:
+    def _encode_values(self, nc_type: int, values: Any) -> bytes:
         fmt_char, _ = _TYPE_INFO[nc_type]
+        if dense.is_ndarray(values):
+            if nc_type != NC_CHAR:
+                raw = dense.encode_ndarray(values, _NP_DTYPES[nc_type])
+                if raw is not None:
+                    return raw
+            # inexpressible as a bulk cast (range overflow, float→int):
+            # box and take the scalar path below so error behaviour —
+            # struct's canonical range/overflow errors — is preserved
+            values = values.tolist()
         if nc_type == NC_CHAR:
             return b"".join(
                 v.encode("utf-8")[:1] if isinstance(v, str) else bytes([v])
@@ -616,6 +666,8 @@ class _Writer:
                         record * per_record: (record + 1) * per_record
                     ]
                     if len(chunk) < per_record:
+                        if dense.is_ndarray(chunk):
+                            chunk = chunk.tolist()
                         chunk = chunk + [0] * (per_record - len(chunk))
                     handle.seek(begin)
                     raw = self._encode_values(entry["nc_type"], chunk)

@@ -13,13 +13,42 @@ to a value of type ``t``.  :class:`Array` realizes that view:
 Any dimension may be zero, in which case the array is empty but its
 dimensionality and the lengths of the other dimensions are still
 meaningful (``dim`` observes them).
+
+Backing store
+-------------
+
+An array is backed by one of two representations (:mod:`repro.objects.dense`):
+
+* a :class:`~repro.objects.dense.DenseBlock` — one contiguous numpy
+  buffer tagged ``int``/``real``/``bool`` — when every element is a
+  homogeneous scalar of one of those kinds; or
+* the classic object tuple, for strings, tuples, sets, nested arrays,
+  mixed kinds, out-of-guard integers, or when numpy/the store is off.
+
+The representation is an implementation detail: ``flat`` materializes
+boxed elements lazily (exactly once) and every observation — equality,
+hash, ordering, subscript ⊥ — is identical across the two forms.
+
+Equality and hash are *kind-first*, matching ``value_equal``: the
+calculus distinguishes ``nat``, ``real`` and ``bool``, so ``[[1]]``,
+``[[1.0]]`` and ``[[true]]`` are pairwise unequal and hash-distinct,
+even though Python says ``1 == 1.0 == True``.  Each array caches a
+*kind signature* (one code per element) that equality compares before
+any values and that feeds the hash.
+
+Thread-safety contract: the lazy slots (``_flat``, ``_block``,
+``_ksig``, ``_hash``) are only ever assigned fully-built immutable
+values, and recomputation is deterministic — concurrent fills under the
+thread backend race benignly (last write wins, all writes equivalent).
+Readers must snapshot a slot into a local before branching on it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import BottomError
+from repro.objects import dense
 
 
 def _row_major_strides(dims: Sequence[int]) -> tuple[int, ...]:
@@ -30,6 +59,37 @@ def _row_major_strides(dims: Sequence[int]) -> tuple[int, ...]:
     return tuple(strides)
 
 
+#: Kind-signature codes for the scalar carriers.  ``bool`` must be checked
+#: by exact type (it subclasses ``int``); all lookups here are by ``type``
+#: so the subclass relationship never conflates the kinds.
+_KIND_CODES = {bool: "b", int: "n", float: "r", str: "s",
+               tuple: "t", frozenset: "S"}
+
+#: Signature codes whose carriers compare correctly under plain ``==``
+#: *given equal codes* (same code ⟹ same exact scalar type).
+_SCALAR_CODES = frozenset("bnrs")
+
+
+def _kind_char(value: Any) -> str:
+    """One unambiguous signature code per element.
+
+    Scalar and flat-collection kinds get single characters; anything
+    else (Array, Bag, foreign objects) contributes ``<TypeName>`` —
+    the angle brackets keep multi-character codes from being parsed
+    as runs of single-character ones, so two equal-length signatures
+    are equal iff the per-element code sequences are.
+    """
+    code = _KIND_CODES.get(type(value))
+    if code is not None:
+        return code
+    return f"<{type(value).__name__}>"
+
+
+def _rebuild_dense(dims: tuple, data: Any) -> "Array":
+    """Unpickle target for block-backed arrays (ships the raw buffer)."""
+    return Array(dims, data)
+
+
 class Array:
     """An immutable k-dimensional array (``k >= 1``) in row-major order.
 
@@ -38,14 +98,17 @@ class Array:
     dims:
         The lengths ``(n_1, ..., n_k)`` of the ``k`` dimensions.
     values:
-        Exactly ``n_1 * ... * n_k`` values in row-major order.
+        Exactly ``n_1 * ... * n_k`` values in row-major order.  A numpy
+        ndarray of a tagged dtype (signed int, float, bool) is adopted
+        as the dense backing block without boxing its elements.
 
     The class is hashable provided its elements are, so arrays can be
     members of sets — required because the object types of the calculus
     nest freely (``{[[t]]_k}`` is a type).
     """
 
-    __slots__ = ("_dims", "_flat", "_strides", "_hash", "_dense")
+    __slots__ = ("_dims", "_size", "_strides", "_flat", "_block",
+                 "_ksig", "_hash")
 
     def __init__(self, dims: Sequence[int], values: Iterable[Any]):
         dims_t = tuple(int(d) for d in dims)
@@ -53,21 +116,33 @@ class Array:
             raise ValueError("arrays must have at least one dimension")
         if any(d < 0 for d in dims_t):
             raise ValueError(f"negative dimension in {dims_t}")
-        flat = tuple(values)
         expected = 1
         for d in dims_t:
             expected *= d
-        if len(flat) != expected:
-            raise ValueError(
-                f"dims {dims_t} require {expected} values, got {len(flat)}"
-            )
+        flat: Optional[tuple] = None
+        block: Any = None  # None = not probed, False = probed & declined
+        if dense.is_ndarray(values):
+            if values.size != expected:
+                raise ValueError(
+                    f"dims {dims_t} require {expected} values, "
+                    f"got {values.size}"
+                )
+            block = dense.adopt(values, dims_t)
+            if block is None:
+                flat = tuple(values.ravel().tolist())
+        else:
+            flat = tuple(values)
+            if len(flat) != expected:
+                raise ValueError(
+                    f"dims {dims_t} require {expected} values, got {len(flat)}"
+                )
         self._dims = dims_t
-        self._flat = flat
+        self._size = expected
         self._strides = _row_major_strides(dims_t)
-        self._hash: int | None = None
-        #: lazily-built dense numeric block (see repro.core.kernels);
-        #: None = not probed yet, False = not densely numeric
-        self._dense: Any = None
+        self._flat = flat
+        self._block = block
+        self._ksig: Optional[str] = None
+        self._hash: Optional[int] = None
 
     # -- constructors ------------------------------------------------------
 
@@ -147,7 +222,7 @@ class Array:
     @property
     def size(self) -> int:
         """Total number of elements."""
-        return len(self._flat)
+        return self._size
 
     def __getitem__(self, index: Any) -> Any:
         """Subscript, the ``e1[e2]`` construct.
@@ -173,14 +248,45 @@ class Array:
                     f"index {index} out of bounds for dims {self._dims}"
                 )
             offset += position * stride
-        return self._flat[offset]
+        flat = self._flat
+        if flat is not None:
+            return flat[offset]
+        dense.COUNTERS.dense_hits += 1
+        return self._block.data.item(offset)
+
+    # -- the backing store --------------------------------------------------
+
+    @property
+    def block(self) -> Optional[dense.DenseBlock]:
+        """The dense backing block if one already exists (never probes)."""
+        b = self._block
+        return b if isinstance(b, dense.DenseBlock) else None
+
+    def dense_block(self) -> Optional[dense.DenseBlock]:
+        """The dense block, probing the object tuple on first demand.
+
+        The probe result is cached idempotently: ``False`` marks a
+        scanned-and-declined array so the scan never reruns.  Under the
+        thread backend two workers may race the first probe; both build
+        equivalent read-only blocks and either publish is fine.
+        """
+        b = self._block
+        if b is None:
+            probed = dense.probe_block(self._flat, self._dims)
+            b = probed if probed is not None else False
+            self._block = b
+        return b if isinstance(b, dense.DenseBlock) else None
 
     # -- derived views ------------------------------------------------------
 
     @property
     def flat(self) -> tuple[Any, ...]:
-        """The row-major value tuple."""
-        return self._flat
+        """The row-major value tuple (boxed lazily for block-backed arrays)."""
+        flat = self._flat
+        if flat is None:
+            flat = dense.materialize(self._block)
+            self._flat = flat
+        return flat
 
     def indices(self) -> Iterator[tuple[int, ...]]:
         """Iterate over the rectangular domain in row-major order."""
@@ -193,15 +299,20 @@ class Array:
         k-tuple, matching the paper's ``graph_k : [[t]]_k -> {N^k × t}``.
         """
         if self.rank == 1:
-            return frozenset((i, v) for i, v in enumerate(self._flat))
-        return frozenset(zip(self.indices(), self._flat))
+            return frozenset((i, v) for i, v in enumerate(self.flat))
+        return frozenset(zip(self.indices(), self.flat))
 
     def to_nested(self) -> Any:
         """Convert back to nested Python lists (row-major)."""
+        block = self.block
+        if block is not None and self._flat is None:
+            return block.data.tolist()
+
+        flat = self.flat
 
         def build(axis: int, offset: int) -> Any:
             if axis == self.rank:
-                return self._flat[offset]
+                return flat[offset]
             stride = self._strides[axis]
             return [
                 build(axis + 1, offset + i * stride)
@@ -212,31 +323,107 @@ class Array:
 
     def map(self, fn: Any) -> "Array":
         """Pointwise map preserving dims (the derived ``map`` of Section 2)."""
-        return Array(self._dims, [fn(v) for v in self._flat])
+        return Array(self._dims, [fn(v) for v in self.flat])
 
     def reshape(self, dims: Sequence[int]) -> "Array":
         """Reinterpret the row-major values under new dims of equal size."""
-        return Array(dims, self._flat)
+        block = self.block
+        if block is not None and self._flat is None:
+            return Array(dims, block.data.ravel())
+        return Array(dims, self.flat)
 
     # -- value protocol ------------------------------------------------------
 
+    def _kinds(self) -> str:
+        """The cached kind signature: one code per element, row-major.
+
+        Block-backed arrays derive it from the dtype tag without boxing
+        anything; by the block invariants (every element exactly the
+        tag's carrier type) that equals what a scan of ``flat`` would
+        produce.
+        """
+        ksig = self._ksig
+        if ksig is None:
+            block = self.block
+            if block is not None:
+                ksig = dense.KIND_CHARS[block.tag] * self._size
+            else:
+                ksig = "".join(_kind_char(v) for v in self._flat)
+            self._ksig = ksig
+        return ksig
+
     def __eq__(self, other: object) -> bool:
+        """Kind-first structural equality (agrees with ``value_equal``).
+
+        Same dims, then same per-element kinds, then same values —
+        ``[[1]] != [[1.0]] != [[true]]`` even though Python's scalars
+        say otherwise.  Two blocks of the same tag compare in one
+        vectorized pass; everything else falls back to the signature
+        check plus tuple/``value_equal`` comparison.
+        """
+        if self is other:
+            return True
         if not isinstance(other, Array):
             return NotImplemented
-        return self._dims == other._dims and self._flat == other._flat
+        if self._dims != other._dims:
+            return False
+        if self._size == 0:
+            return True
+        a = self.block
+        b = other.block
+        if a is not None and b is not None:
+            if a.tag != b.tag:
+                return False
+            return dense.blocks_equal(a, b)
+        if self._kinds() != other._kinds():
+            return False
+        if _SCALAR_CODES.issuperset(self._kinds()):
+            return self.flat == other.flat
+        from repro.objects.values import value_equal
+        return all(value_equal(x, y) for x, y in zip(self.flat, other.flat))
 
     def __hash__(self) -> int:
+        """Hash over dims, kind signature and values.
+
+        Consistent with ``__eq__``: equal arrays share dims and
+        signature, and their flat tuples are Python-equal (``value_equal``
+        refines ``==``), so the triple hashes alike; arrays differing
+        only in element kinds get different signatures and therefore
+        (almost surely) different hashes.
+        """
         if self._hash is None:
-            self._hash = hash((self._dims, self._flat))
+            self._hash = hash((self._dims, self._kinds(), self.flat))
         return self._hash
 
     def __iter__(self) -> Iterator[Any]:
         """Iterate over values in row-major order."""
-        return iter(self._flat)
+        return iter(self.flat)
+
+    def __reduce__(self):
+        """Pickle block-backed arrays as (dims, raw buffer) — no boxing.
+
+        The sharded process executor ships operand arrays to workers
+        through pickle; sending the ndarray keeps that a single buffer
+        copy instead of ``size`` object pickles.  Reconstruction goes
+        through ``__init__`` adoption, so a worker with the store
+        disabled transparently lands on the object representation.
+        With ``REPRO_NO_DENSE=1`` the boxed form is shipped even when a
+        probe-cache block exists, keeping that lane's wire format
+        byte-comparable to the historical one.
+        """
+        block = self.block if dense.STORE_ENABLED else None
+        if block is not None:
+            return (_rebuild_dense, (self._dims, block.data))
+        return (Array, (self._dims, self.flat))
 
     def __repr__(self) -> str:
-        shown = ", ".join(repr(v) for v in self._flat[:8])
-        if len(self._flat) > 8:
+        block = self.block
+        if block is not None and self._flat is None:
+            preview = block.data.ravel()[:8].tolist()
+        else:
+            preview = list(self.flat[:8])
+        shown = ", ".join(repr(v) for v in preview)
+        if self._size > 8:
             shown += ", ..."
         return f"Array(dims={self._dims}, [{shown}])"
 

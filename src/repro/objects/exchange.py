@@ -87,13 +87,39 @@ def _write(value: Any, out: List[str]) -> None:
         out.append("[[")
         out.append(", ".join(str(d) for d in value.dims))
         out.append("; ")
-        for position, item in enumerate(value.flat):
-            if position:
-                out.append(", ")
-            _write(item, out)
+        block = value.block
+        if block is not None:
+            _write_block(block, out)
+        else:
+            for position, item in enumerate(value.flat):
+                if position:
+                    out.append(", ")
+                _write(item, out)
         out.append("]]")
     else:  # pragma: no cover - value_kind is exhaustive
         raise AssertionError(kind)
+
+
+def _write_block(block: Any, out: List[str]) -> None:
+    """Serialize a dense backing block without caching boxed elements.
+
+    The transient ``tolist`` yields exactly the ints/floats/bools the
+    object path would have walked, so the emitted text — including the
+    negative-natural rejection, in row-major first-occurrence order —
+    is byte-identical to per-element :func:`_write` dispatch.
+    """
+    values = block.data.ravel().tolist()
+    if block.tag == "int":
+        pieces = []
+        for item in values:
+            if item < 0:
+                raise ExchangeFormatError(f"negative natural {item}")
+            pieces.append(str(item))
+        out.append(", ".join(pieces))
+    elif block.tag == "real":
+        out.append(", ".join(_format_real(item) for item in values))
+    else:
+        out.append(", ".join("true" if item else "false" for item in values))
 
 
 def _format_real(value: float) -> str:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from functools import cmp_to_key
 from typing import Any, Iterable, List
 
+from repro.objects import dense
 from repro.objects.values import value_kind
 
 _KIND_RANK = {
@@ -59,6 +60,16 @@ def compare_values(a: Any, b: Any) -> int:
         by_dims = _cmp_sequences(a.dims, b.dims)
         if by_dims != 0:
             return by_dims
+        block_a = a.block
+        block_b = b.block
+        if block_a is not None and block_b is not None \
+                and block_a.tag == block_b.tag:
+            # same tag ⟹ same element kinds, so the vectorized
+            # first-difference compare agrees with the scalar walk
+            # (None means NaN was present — fall through for exactness)
+            outcome = dense.compare_blocks(block_a, block_b)
+            if outcome is not None:
+                return outcome
         return _cmp_sequences(a.flat, b.flat)
     raise AssertionError(kind_a)
 

@@ -90,9 +90,10 @@ def value_equal(a: Any, b: Any) -> bool:
             return False
         return all(any(value_equal(x, y) for y in b) for x in a)
     if kind_a == "array":
-        return a.dims == b.dims and all(
-            value_equal(x, y) for x, y in zip(a.flat, b.flat)
-        )
+        # Array.__eq__ is kind-first (and block-aware) since the dense
+        # store landed, so delegation preserves this function's contract
+        # while same-tag blocks compare in one vectorized pass.
+        return a == b
     if kind_a == "bag":
         return a == b
     return a == b

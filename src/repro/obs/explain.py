@@ -39,6 +39,9 @@ class ExplainReport:
     metrics: Optional[EvalMetrics] = None
     #: plan-cache occupancy + counters (``PlanCache.snapshot()``)
     cache: Optional[Dict[str, Any]] = None
+    #: dense-store counter *deltas* over the profiled block
+    #: (``repro.objects.dense.COUNTERS`` before/after difference)
+    dense: Optional[Dict[str, int]] = None
     value: Any = None
     has_value: bool = False
 
@@ -68,6 +71,8 @@ class ExplainReport:
             payload["metrics"] = self.metrics.to_dict()
         if self.cache is not None:
             payload["plan_cache"] = dict(self.cache)
+        if self.dense is not None:
+            payload["dense_store"] = dict(self.dense)
         return payload
 
     def render(self) -> str:
@@ -89,6 +94,8 @@ class ExplainReport:
                          self.metrics.render()]
         if self.cache is not None:
             sections += ["", "== plan cache ==", _render_cache(self.cache)]
+        if self.dense is not None:
+            sections += ["", "== dense store ==", _render_dense(self.dense)]
         return "\n".join(sections)
 
 
@@ -117,6 +124,15 @@ def _render_cache(cache: Dict[str, Any]) -> str:
             f"misses {cache.get('misses', 0)}  "
             f"evictions {cache.get('evictions', 0)}  "
             f"invalidations {cache.get('invalidations', 0)}")
+
+
+def _render_dense(counters: Dict[str, int]) -> str:
+    """The dense-store counter lines (deltas over the profiled block)."""
+    return (f"blocks adopted        {counters.get('blocks_adopted', 0)}  "
+            f"probed {counters.get('blocks_probed', 0)}  "
+            f"rejects {counters.get('probe_rejects', 0)}\n"
+            f"dense hits            {counters.get('dense_hits', 0)}  "
+            f"materializations {counters.get('materializations', 0)}")
 
 
 def _render_phase(name: str, stats: Any) -> str:

@@ -324,14 +324,21 @@ class Session:
         nulls, and a caller that had observability on gets its own
         tracer and accumulated counters back untouched.
         """
+        from repro.objects import dense
+
         obs = self.env.obs
         saved = obs.capture()
         obs.enable()
+        dense_before = dense.COUNTERS.snapshot()
         try:
             outputs = self.run(source)
             if not outputs:
                 raise SessionError("nothing to profile")
             spans = obs.tracer.finish()
+            dense_delta = {
+                key: value - dense_before[key]
+                for key, value in dense.COUNTERS.snapshot().items()
+            }
             last = outputs[-1]
             last.explain = ExplainReport(
                 source=source.strip(),
@@ -342,6 +349,7 @@ class Session:
                 phase_stats=dict(self.env.optimizer.report()),
                 metrics=obs.metrics,
                 cache=self.plan_cache.snapshot(),
+                dense=dense_delta,
                 value=last.value,
                 has_value=last.has_value,
             )

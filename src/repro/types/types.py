@@ -223,6 +223,13 @@ def type_of_value(value: Any) -> Type:
     if isinstance(value, Bag):
         return TBag(_elem_type(value.support()))
     if isinstance(value, Array):
+        block = value.block
+        if block is not None and value.size:
+            # dense-backed: the dtype tag *is* the element type — no
+            # need to box the buffer just to inspect its elements
+            elem = {"int": TNat(), "real": TReal(),
+                    "bool": TBool()}[block.tag]
+            return TArray(elem, value.rank)
         return TArray(_elem_type(value.flat), value.rank)
     raise TypeError(f"not a complex-object value: {value!r}")
 

@@ -1,10 +1,13 @@
 """Unit tests for the Array value class (arrays-as-functions, Section 2)."""
 
+import threading
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import BottomError
+from repro.objects import dense
 from repro.objects.array import Array, iter_indices
 
 
@@ -166,6 +169,122 @@ class TestValueProtocol:
     def test_repr_truncates(self):
         text = repr(Array.from_list(list(range(100))))
         assert "..." in text
+
+
+class TestKindMixing:
+    """Regression: kinds are distinct in the calculus (nat ≠ real ≠ bool).
+
+    The seed compared arrays by raw Python ``==`` over flat tuples, where
+    ``1 == 1.0 == True`` — so ``[[1]]``, ``[[1.0]]`` and ``[[true]]``
+    collapsed to one value in sets and compared equal.  ``Array.__eq__``
+    is now kind-first (the kind signature is checked before any element
+    comparison) and ``__hash__`` folds the signature in.
+    """
+
+    NAT = Array((1, 1), [1])
+    REAL = Array((1, 1), [1.0])
+    BOOL = Array((1, 1), [True])
+
+    def test_pairwise_unequal(self):
+        assert self.NAT != self.REAL
+        assert self.NAT != self.BOOL
+        assert self.REAL != self.BOOL
+
+    def test_hashes_distinct(self):
+        assert len({hash(self.NAT), hash(self.REAL), hash(self.BOOL)}) == 3
+
+    def test_distinct_in_frozenset(self):
+        assert len(frozenset([self.NAT, self.REAL, self.BOOL])) == 3
+
+    def test_same_kind_same_value_still_equal(self):
+        assert Array((1, 1), [1]) == Array((1, 1), [1])
+        assert hash(Array((1, 1), [1.0])) == hash(Array((1, 1), [1.0]))
+
+    def test_mixed_kind_flats_compare_positionally(self):
+        # same kind signature "nr" on both sides: falls through to the
+        # elementwise walk, not the kind short-circuit
+        assert Array((2,), [1, 2.0]) == Array((2,), [1, 2.0])
+        assert Array((2,), [1, 2.0]) != Array((2,), [1.0, 2.0])
+
+    def test_empty_arrays_equal_regardless_of_backing(self):
+        assert Array((0,), []) == Array((0,), [])
+
+
+class TestBottomBoundary:
+    """Regression: host ``ValueError`` from Array validation must surface
+    as the calculus's ⊥ at the ``apply_function`` boundary, not leak as a
+    bare Python exception (the seed leaked
+    ``ValueError: dims (2, 2) require 4 values, got 3``)."""
+
+    def test_interpreter_apply_maps_reshape_mismatch_to_bottom(self):
+        from repro.core.eval import Evaluator
+
+        bad = Array.from_list([1, 2, 3])
+        with pytest.raises(BottomError) as err:
+            Evaluator().apply_function(
+                lambda v, _ev: v.reshape((2, 2)), bad)
+        assert "host value error" in str(err.value)
+
+    def test_interpreter_apply_maps_init_mismatch_to_bottom(self):
+        from repro.core.eval import Evaluator
+
+        with pytest.raises(BottomError) as err:
+            Evaluator().apply_function(
+                lambda v, _ev: Array((2, 2), v), [1, 2, 3])
+        assert "host value error" in str(err.value)
+
+    def test_compiled_shim_maps_reshape_mismatch_to_bottom(self):
+        from repro.core.compile import CompiledEvaluator
+
+        bad = Array.from_list([1, 2, 3])
+        with pytest.raises(BottomError) as err:
+            CompiledEvaluator().apply_function(
+                lambda v: v.reshape((2, 2)), bad)
+        assert "host value error" in str(err.value)
+
+
+class TestDenseProbeThreads:
+    """The lazy ``_block`` probe must be idempotent under concurrent
+    callers (the thread backend shares Array values across workers)."""
+
+    WORKERS = 8
+
+    def _hammer(self, array):
+        results = [None] * self.WORKERS
+        barrier = threading.Barrier(self.WORKERS)
+
+        def probe(slot):
+            barrier.wait()
+            results[slot] = array.dense_block()
+
+        threads = [threading.Thread(target=probe, args=(slot,))
+                   for slot in range(self.WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    @pytest.mark.skipif(not dense.store_enabled(),
+                        reason="dense store unavailable or disabled")
+    def test_concurrent_probe_publishes_equivalent_blocks(self):
+        grid = Array((100, 100), list(range(10_000)))
+        results = self._hammer(grid)
+        # racing probes may build separate blocks, but every caller gets
+        # *a* block, all equivalent, and one of them ends up published
+        assert all(isinstance(b, dense.DenseBlock) for b in results)
+        first = results[0]
+        assert all(b.tag == first.tag for b in results)
+        assert all(dense.blocks_equal(first, b) for b in results)
+        assert isinstance(grid._block, dense.DenseBlock)
+        assert grid.flat == tuple(range(10_000))
+
+    def test_concurrent_probe_decline_is_stable(self):
+        words = Array((4,), ["a", "b", "c", "d"])
+        results = self._hammer(words)
+        assert all(b is None for b in results)
+        assert words._block is False  # cached decline
+        assert words.flat == ("a", "b", "c", "d")
 
 
 class TestIterIndices:

@@ -291,7 +291,6 @@ class TestKernelInternals:
 
     def test_dense_block_is_cached_on_the_array(self):
         grid = Array((10, 10), list(range(100)))
-        assert grid._dense is None
         block, lo, hi = kernels._dense_block(grid)
         assert (lo, hi) == (0, 99)
         assert kernels._dense_block(grid)[0] is block
@@ -300,7 +299,7 @@ class TestKernelInternals:
         words = Array((2,), ["a", "b"])
         with pytest.raises(kernels._Fallback):
             kernels._dense_block(words)
-        assert words._dense is False
+        assert words._block is False  # probed once, declined, cached
         with pytest.raises(kernels._Fallback):
             kernels._dense_block(words)
 

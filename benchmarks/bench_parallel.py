@@ -16,13 +16,21 @@ measured and nothing is asserted that the hardware cannot deliver.
 Correctness (parallel == serial, shard accounting visible in the probe)
 is asserted unconditionally.
 
+The process backend's shared-memory transport is counter-asserted: on
+this dense workload every shard must land in the output slab
+(``shards_zero_copy == shards_executed`` — zero per-element pickling),
+the segment economy is recorded into the JSON, and every run ends with
+a leak check that no segment survives (registry *and* ``/dev/shm``).
+
 Everything lands in ``benchmarks/BENCH_parallel.json`` via
 ``bench_record(file="parallel")``.
 """
 
+import glob
 import os
 
 from repro.core import ast
+from repro.core import parallel
 from repro.core.eval import Evaluator
 from repro.core.fastpath import DispatchConfig
 from repro.obs.metrics import EvalMetrics
@@ -85,6 +93,13 @@ def _measure(expr, bench_record, label, cells):
     assert probed.run(expr) == expected
     assert probe.shards_executed == WORKER_COUNTS[-1]
     assert probe.cells_parallel == cells
+    if parallel._shm_transport_on():
+        # dense workload: every shard's results must land in the output
+        # slab — zero per-element pickling on the way back
+        assert probe.shards_zero_copy == probe.shards_executed, \
+            (label, probe.shards_zero_copy, probe.shards_executed)
+        assert probe.shm_segments >= 1
+        assert probe.shm_bytes >= cells * 8
 
     bench_record(
         file="parallel",
@@ -94,10 +109,18 @@ def _measure(expr, bench_record, label, cells):
         cells=cells,
         shards_executed=probe.shards_executed,
         cells_parallel=probe.cells_parallel,
+        shm_segments=probe.shm_segments,
+        shm_bytes=probe.shm_bytes,
+        shards_zero_copy=probe.shards_zero_copy,
         **{f"seconds_w{w}": t for w, t in timings.items()},
         **{f"speedup_w{w}": round(t_serial / t, 3)
            for w, t in timings.items()},
     )
+
+    # no dispatch may strand a segment — registry and OS view agree
+    assert parallel.shm_live_segments() == 0
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob("/dev/shm/repro_shm_*") == []
 
     # shape assertions only where the hardware can deliver them
     if CPUS >= 4:

@@ -16,6 +16,7 @@ them property-style); only the constant factors change.  Use it through
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core import ast
@@ -292,16 +293,21 @@ class Compiler:
         def run(env):
             # canonical order, not hash order: see Evaluator._sum
             elements = canonical_elements(source(env))
-            if (len(elements) >= config.min_cells
-                    and parallel.available(config)):
+            if parallel.available(config) \
+                    and config.wants_shards(len(elements)):
                 sharded = parallel.sum_compiled(
                     compiler, expr, sum_scope, body, env, elements
                 )
                 if sharded is not None:
                     return sharded[0]
+            timed = config.adaptive and len(elements) >= config.min_cells
+            started = time.perf_counter() if timed else 0.0
             total: Any = 0
             for element in elements:
                 total = total + body(env + [element])
+            if timed:
+                config.observe("serial", len(elements),
+                               time.perf_counter() - started)
             return total
 
         return run
@@ -336,23 +342,25 @@ class Compiler:
                     )
                 extents.append(value)
                 total *= value
-            if total >= config.min_cells:
-                if kernel is not None and kernels.available():
-                    result = kernels.execute(
-                        kernel, extents, [code(env) for code in input_codes]
-                    )
-                    if result is not None:
-                        if probe is not None:
-                            probe.on_cells_vectorized(result.size)
-                        return result
-                # vectorization wins when the body is kernel-shaped;
-                # otherwise shard the domain by outermost index
-                if parallel.available(config):
-                    result = parallel.tabulate_compiled(
-                        compiler, expr, tab_scope, body, env, extents, total
-                    )
-                    if result is not None:
-                        return result
+            if total >= config.min_cells and kernel is not None \
+                    and kernels.available():
+                result = kernels.execute(
+                    kernel, extents, [code(env) for code in input_codes]
+                )
+                if result is not None:
+                    if probe is not None:
+                        probe.on_cells_vectorized(result.size)
+                    return result
+            # vectorization wins when the body is kernel-shaped;
+            # otherwise shard the domain by outermost index
+            if parallel.available(config) and config.wants_shards(total):
+                result = parallel.tabulate_compiled(
+                    compiler, expr, tab_scope, body, env, extents, total
+                )
+                if result is not None:
+                    return result
+            timed = config.adaptive and total >= config.min_cells
+            started = time.perf_counter() if timed else 0.0
             if rank == 1:
                 values = [body(env + [i]) for i in range(extents[0])]
             else:
@@ -360,6 +368,9 @@ class Compiler:
                     body(env + list(index))
                     for index in iter_indices(extents)
                 ]
+            if timed:
+                config.observe("serial", total,
+                               time.perf_counter() - started)
             if probe is not None:
                 probe.on_cells(len(values))
             return Array(extents, values)

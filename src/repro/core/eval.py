@@ -16,6 +16,7 @@ Semantics follow Section 2 exactly:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core import ast
@@ -291,16 +292,23 @@ class Evaluator:
         # addition is non-associative, so a hash-ordered Σ over reals
         # would differ between runs and platforms
         source = canonical_elements(self._eval(expr.source, env))
-        if (len(source) >= self.parallel.min_cells
-                and parallel.available(self.parallel)):
+        config = self.parallel
+        if parallel.available(config) and config.wants_shards(len(source)):
             sharded = parallel.sum_interp(self, expr, env, source)
             if sharded is not None:
                 return sharded[0]
+        # adaptive dispatch learns the serial rate from real loops; the
+        # measurement is only armed on loops big enough to time reliably
+        timed = config.adaptive and len(source) >= config.min_cells
+        started = time.perf_counter() if timed else 0.0
         total: Any = 0
         for element in source:
             total = total + self._eval(
                 expr.body, Env.extend(env, expr.var, element)
             )
+        if timed:
+            config.observe("serial", len(source),
+                           time.perf_counter() - started)
         return total
 
     def _tabulate(self, expr: ast.Tabulate, env):
@@ -312,26 +320,30 @@ class Evaluator:
                 raise BottomError(f"tabulation bound {value!r} is not natural")
             bounds.append(value)
             total *= value
-        if total >= self.parallel.min_cells:
-            if kernels.available():
-                result = self._tabulate_vectorized(expr, env, bounds)
-                if result is not None:
-                    if self.probe is not None:
-                        self.probe.on_cells_vectorized(result.size)
-                    return result
-            # vectorization first: a kernel-shaped body beats sharding,
-            # and inside shards workers still take the numpy path
-            if parallel.available(self.parallel):
-                result = parallel.tabulate_interp(self, expr, env, bounds,
-                                                  total)
-                if result is not None:
-                    return result
+        config = self.parallel
+        if total >= config.min_cells and kernels.available():
+            result = self._tabulate_vectorized(expr, env, bounds)
+            if result is not None:
+                if self.probe is not None:
+                    self.probe.on_cells_vectorized(result.size)
+                return result
+        # vectorization first: a kernel-shaped body beats sharding, and
+        # inside shards workers still take the numpy path
+        if parallel.available(config) and config.wants_shards(total):
+            result = parallel.tabulate_interp(self, expr, env, bounds,
+                                              total)
+            if result is not None:
+                return result
+        timed = config.adaptive and total >= config.min_cells
+        started = time.perf_counter() if timed else 0.0
         values = []
         for index in iter_indices(bounds):
             inner = env
             for var, position in zip(expr.vars, index):
                 inner = Env.extend(inner, var, position)
             values.append(self._eval(expr.body, inner))
+        if timed:
+            config.observe("serial", total, time.perf_counter() - started)
         if self.probe is not None:
             self.probe.on_cells(len(values))
         return Array(bounds, values)

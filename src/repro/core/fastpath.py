@@ -33,6 +33,17 @@ DEFAULT_MIN_CELLS = 64
 #: worker-pool strategies understood by :mod:`repro.core.parallel`
 PARALLEL_BACKENDS = ("thread", "process")
 
+#: adaptive mode: a construct whose *projected serial time* (from the
+#: measured serial cells-per-second) is below this never dispatches —
+#: pool hand-off plus shard bookkeeping costs on the order of
+#: milliseconds, so shorter work cannot win
+ADAPTIVE_MIN_SECONDS = 0.005
+
+#: adaptive mode: a parallel backend must beat the measured serial rate
+#: by this factor before it keeps winning dispatches (hysteresis so a
+#: noisy measurement does not flap the decision)
+ADAPTIVE_MARGIN = 1.05
+
 
 class DispatchConfig:
     """Gating knobs shared by the vectorized and parallel fast paths.
@@ -51,6 +62,13 @@ class DispatchConfig:
         Per-session switch for the set-engine fast paths
         (:mod:`repro.core.setops`); ``REPRO_NO_SETOPS=1`` wins over it
         process-wide.
+    ``adaptive``
+        When true, the serial-vs-shard decision is made from *measured*
+        cells-per-second (see :meth:`wants_shards`) instead of the
+        static ``min_cells`` floor; the floor still serves as the
+        bootstrap gate until a serial rate has been observed.  Off by
+        default: explicit worker/floor settings stay exactly
+        reproducible, which the agreement test suite depends on.
 
     One instance is owned by each :class:`~repro.env.environment.TopEnv`
     and handed by reference to every evaluator it builds, so mutating it
@@ -59,23 +77,96 @@ class DispatchConfig:
     keyword surface before mutating the config.
     """
 
-    __slots__ = ("min_cells", "workers", "backend", "setops")
+    __slots__ = ("min_cells", "workers", "backend", "setops",
+                 "adaptive", "_rates")
 
     def __init__(self, min_cells: int = DEFAULT_MIN_CELLS,
                  workers: int = 0, backend: str = "thread",
-                 setops: bool = True):
+                 setops: bool = True, adaptive: bool = False):
         self.min_cells = min_cells
         self.workers = workers
         self.backend = backend
         self.setops = setops
+        self.adaptive = adaptive
+        #: measured throughput per execution mode, cells/second —
+        #: keys are ``"serial"`` and the backend names; written by
+        #: :meth:`observe` (the engines record every large serial loop
+        #: and every successful sharded dispatch back into the config)
+        self._rates: dict = {}
+
+    # -- adaptive dispatch selection ------------------------------------
+
+    def observe(self, mode: str, cells: int, seconds: float) -> None:
+        """Record a measured run of ``mode`` (``"serial"``/``"thread"``/
+        ``"process"``) over ``cells`` cells taking ``seconds``.
+
+        Rates are folded with an equal-weight exponential moving average
+        so one noisy measurement cannot dominate, and recorded straight
+        into the config — the next dispatch decision sees them.
+        Degenerate measurements (zero cells, sub-resolution timings) are
+        dropped rather than poison the average.
+        """
+        if cells <= 0 or seconds <= 0.0:
+            return
+        rate = cells / seconds
+        old = self._rates.get(mode)
+        self._rates[mode] = rate if old is None else 0.5 * old + 0.5 * rate
+
+    def rates(self) -> dict:
+        """A snapshot of the measured cells-per-second by mode."""
+        return dict(self._rates)
+
+    def shard_backend(self) -> str:
+        """The backend a dispatch should use.
+
+        Static config: always ``backend``.  Adaptive: the *measured
+        fastest* of the known backends — a session that has tried both
+        ``thread`` and ``process`` keeps using whichever actually won on
+        this machine; an unmeasured configured backend is trusted until
+        measured.
+        """
+        if not self.adaptive:
+            return self.backend
+        best = self.backend
+        best_rate = self._rates.get(best)
+        for candidate in PARALLEL_BACKENDS:
+            rate = self._rates.get(candidate)
+            if rate is not None and (best_rate is None or rate > best_rate):
+                best, best_rate = candidate, rate
+        return best
+
+    def wants_shards(self, cells: int) -> bool:
+        """Should a construct of ``cells`` cells/elements be sharded?
+
+        Static config reproduces the historical gate: ``cells >=
+        min_cells``.  Adaptive config projects the serial time from the
+        measured serial rate and declines when the whole construct
+        finishes faster than a dispatch costs
+        (:data:`ADAPTIVE_MIN_SECONDS`), or when the chosen backend has
+        been measured and does not beat serial by
+        :data:`ADAPTIVE_MARGIN`; an unmeasured backend gets one
+        dispatch so its rate becomes known.
+        """
+        if not self.adaptive:
+            return cells >= self.min_cells
+        serial_rate = self._rates.get("serial")
+        if serial_rate is None or serial_rate <= 0.0:
+            return cells >= self.min_cells
+        if cells / serial_rate < ADAPTIVE_MIN_SECONDS:
+            return False
+        shard_rate = self._rates.get(self.shard_backend())
+        if shard_rate is None:
+            return True
+        return shard_rate > serial_rate * ADAPTIVE_MARGIN
 
     @classmethod
     def from_env(cls) -> "DispatchConfig":
         """Defaults overridable through the process environment.
 
         ``REPRO_PARALLEL_WORKERS`` (default 0 → serial),
-        ``REPRO_PARALLEL_BACKEND`` (default ``thread``), and
-        ``REPRO_MIN_CELLS`` (default :data:`DEFAULT_MIN_CELLS`).  The
+        ``REPRO_PARALLEL_BACKEND`` (default ``thread``),
+        ``REPRO_MIN_CELLS`` (default :data:`DEFAULT_MIN_CELLS`), and
+        ``REPRO_ADAPTIVE=1`` (measured-rate dispatch selection).  The
         ``REPRO_NO_PARALLEL`` kill switch is honoured separately by
         :mod:`repro.core.parallel` so it wins over any workers setting.
         """
@@ -94,12 +185,13 @@ class DispatchConfig:
             min_cells=_int("REPRO_MIN_CELLS", DEFAULT_MIN_CELLS),
             workers=_int("REPRO_PARALLEL_WORKERS", 0),
             backend=backend,
+            adaptive=os.environ.get("REPRO_ADAPTIVE", "") == "1",
         )
 
     def __repr__(self) -> str:
         return (f"DispatchConfig(min_cells={self.min_cells}, "
                 f"workers={self.workers}, backend={self.backend!r}, "
-                f"setops={self.setops})")
+                f"setops={self.setops}, adaptive={self.adaptive})")
 
 
 #: the config used by evaluators constructed without an explicit one
@@ -148,5 +240,6 @@ class NodeCache:
         return payload
 
 
-__all__ = ["DEFAULT_MIN_CELLS", "PARALLEL_BACKENDS", "DispatchConfig",
+__all__ = ["DEFAULT_MIN_CELLS", "PARALLEL_BACKENDS",
+           "ADAPTIVE_MIN_SECONDS", "ADAPTIVE_MARGIN", "DispatchConfig",
            "DEFAULT_CONFIG", "NODE_CACHE_CAPACITY", "NodeCache"]

@@ -20,15 +20,18 @@ Discipline (same proof-or-fallback contract as :mod:`repro.core.kernels`):
   raising anything at all.
 * **Strict ⊥ and error identity**: when any shard fails (⊥ or
   otherwise) the remaining shards are cancelled best-effort, *all*
-  parallel work — including worker probe counters — is discarded, and
-  the caller's serial loop reruns the whole construct.  The serial
-  rerun raises exactly the error a serial evaluation always raised
-  (same reason, same probe counts), so failure semantics cannot drift.
+  parallel work — including worker probe counters and every
+  shared-memory segment — is discarded, and the caller's serial loop
+  reruns the whole construct.  The serial rerun raises exactly the
+  error a serial evaluation always raised (same reason, same probe
+  counts), so failure semantics cannot drift.
 * **Float-exact Σ**: workers return their slice's body *values*, never
   partial sums; the parent folds every value left-to-right in canonical
   order.  Float addition is non-associative, so merging partial sums
   would change low bits — folding serially over parallel-computed
-  values cannot.
+  values cannot.  (Integer slabs may be summed vectorized: integer
+  addition is associative, and the ``INT_GUARD`` overflow check keeps
+  the int64 accumulation exact.)
 * **Probe exactness**: counters are single-writer (see
   :mod:`repro.obs.metrics`), so each worker reports into a private
   probe from ``probe.fork()`` and the parent merges the finished
@@ -39,19 +42,57 @@ Backends: ``"thread"`` shares the interpreter (no pickling, no copies;
 the GIL serializes pure-Python bodies, so it helps only when bodies
 release the GIL, e.g. numpy-heavy primitives) and ``"process"`` forks
 true CPU-parallel workers that re-interpret the shard body against
-pickled bindings (a worker that cannot reconstruct the body — native
+shipped bindings (a worker that cannot reconstruct the body — native
 primitives in scope, unpicklable values — fails its shard and the
 whole construct falls back to serial).
 
-``REPRO_NO_PARALLEL=1`` disables every dispatch unconditionally.
+Shared-memory transport (the process backend's wire format)
+-----------------------------------------------------------
+
+Process shards used to pickle one boxed Python object per element in
+both directions, which made workers *lose* to serial on exactly the
+large inputs they exist for.  Dense-representable data now travels as
+``multiprocessing.shared_memory`` segments instead:
+
+* **payloads** — an operand :class:`~repro.objects.array.Array` with a
+  dense block of at least ``SHM_MIN_BYTES`` is exported *once* into a
+  segment and referenced by name from every shard (instead of being
+  re-pickled per shard), and a Σ's scalar element list is probed into
+  one segment each worker slices by ``(lo, hi)``;
+* **results** — the parent pre-creates one output slab (8 bytes per
+  cell), each worker probes its boxed shard values dense
+  (:func:`~repro.objects.dense.probe_block`) and writes them directly
+  into its mapped region as int64/float64 (bools travel as int64), and
+  the parent stitches the slab into one backing ndarray with no
+  per-element boxing.  A shard whose values are not dense-representable
+  returns boxed values through pickle as before, and the parent boxes
+  the neighbouring slab regions to match — mixed outcomes degrade,
+  they never fail.
+
+Segment lifecycle: the parent creates, forked workers attach (sharing
+the parent's resource tracker, so no extra registration to undo), and
+the parent unlinks in a ``finally`` on **every** exit path, success or
+strict-⊥ discard alike.  ``shm_live_segments()``
+exposes the live count for leak assertions; an atexit backstop unlinks
+stragglers.  The probe counters ``shm_segments`` / ``shm_bytes`` /
+``shards_zero_copy`` record each successful dispatch's transport
+economy (see ``docs/OBSERVABILITY.md``).
+
+``REPRO_NO_PARALLEL=1`` disables every dispatch unconditionally;
+``REPRO_NO_SHM=1`` keeps sharding but falls back to the boxed pickle
+wire format; ``REPRO_NO_DENSE=1`` implies no shared-memory transport
+(there are no dense blocks to ship) *and* is propagated to workers so
+a no-dense parent never receives dense-backed shard results.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import pickle
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -60,8 +101,33 @@ from repro.core.fastpath import DispatchConfig
 from repro.objects import dense
 from repro.objects.array import Array, iter_indices
 
+try:  # numpy is optional; the shm transport degrades to pickle without it
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised by the no-numpy CI lane
+    _np = None
+
+try:
+    from multiprocessing import shared_memory as _shm_mod
+except Exception:  # pragma: no cover - platforms without shm
+    _shm_mod = None
+
 #: kill switch — mirrors ``kernels.ENABLED`` / ``REPRO_NO_VECTORIZE``
 ENABLED = os.environ.get("REPRO_NO_PARALLEL", "") != "1"
+
+#: kill switch for the shared-memory wire format only (sharding still
+#: runs, over the boxed pickle transport)
+SHM_ENABLED = os.environ.get("REPRO_NO_SHM", "") != "1"
+
+#: operand arrays below this many bytes ride the ordinary pickle path —
+#: a segment costs a file descriptor and two syscalls, so tiny payloads
+#: are cheaper to copy (one OS page is the natural floor)
+SHM_MIN_BYTES = 4096
+
+#: how long ``shutdown_pools`` waits for process workers to exit before
+#: escalating to ``terminate()`` and then ``kill()`` — a wedged worker
+#: must never hang interpreter exit
+SHUTDOWN_GRACE = 2.0
+
 
 def _worker_config(config: DispatchConfig) -> DispatchConfig:
     """The parent's tuning with sharding turned off.
@@ -71,10 +137,13 @@ def _worker_config(config: DispatchConfig) -> DispatchConfig:
     set-engine switch — must match the parent's, or a sharded run's
     nested tabulations and group-bys would take different paths (and
     report different counters) than the serial run they must agree
-    with.
+    with.  ``adaptive`` is deliberately dropped: with ``workers=0`` the
+    shard decision never arises, and the vectorization floor stays the
+    propagated ``min_cells`` in both modes.
     """
     return DispatchConfig(min_cells=config.min_cells, workers=0,
                           backend=config.backend, setops=config.setops)
+
 
 #: set while the current *thread* is executing a shard, so nested
 #: tabulations inside a shard body take the serial path even on the
@@ -94,8 +163,9 @@ def in_worker() -> bool:
 def available(config: Optional[DispatchConfig]) -> bool:
     """Can a parallel dispatch be attempted under ``config`` at all?
 
-    The minimum-cells floor is the *caller's* gate (shared with the
-    vectorized path); this checks everything else.
+    The cells floor — static ``min_cells`` or the adaptive projection
+    (:meth:`~repro.core.fastpath.DispatchConfig.wants_shards`) — is the
+    *caller's* gate; this checks everything else.
     """
     return (
         ENABLED
@@ -131,7 +201,8 @@ def _get_pool(backend: str, workers: int):
     """The cached pool for ``(backend, workers)``, or ``None``.
 
     Pools are lazily created and reused across dispatches so process
-    forking is paid once per configuration, not once per tabulation.
+    forking is paid once per configuration, not once per tabulation —
+    the serving path runs many queries against one warm pool.
     """
     key = (backend, workers)
     with _POOL_LOCK:
@@ -170,19 +241,52 @@ def _evict_pool(backend: str, workers: int) -> None:
             pass
 
 
-def shutdown_pools() -> None:
-    """Shut down every cached pool (atexit, and test isolation)."""
+def shutdown_pools(grace: float = SHUTDOWN_GRACE) -> None:
+    """Shut down every cached pool without ever hanging (atexit, tests).
+
+    ``shutdown(wait=True)`` would join worker processes indefinitely —
+    one wedged worker (stuck in a native call, ignoring SIGTERM) then
+    hangs interpreter exit.  Instead: cancel pending futures, stop the
+    executors without waiting, give process workers ``grace`` seconds
+    *total* to finish, then escalate ``terminate()`` → ``kill()``.
+    Thread workers cannot be killed; their shards observe the cancel
+    event and the cancelled futures, so they drain on their own.
+    """
     with _POOL_LOCK:
-        pools = list(_POOLS.values())
+        pools = dict(_POOLS)
         _POOLS.clear()
-    for pool in pools:
+    for (backend, _workers), pool in pools.items():
+        # grab the worker handles *before* shutdown() drops its
+        # ``_processes`` dict, or there would be nothing to escalate on
+        procs = getattr(pool, "_processes", None)
+        processes = list(procs.values()) if isinstance(procs, dict) else []
         try:
-            pool.shutdown(wait=True, cancel_futures=True)
+            pool.shutdown(wait=False, cancel_futures=True)
         except Exception:
             pass
-
-
-atexit.register(shutdown_pools)
+        if backend != "process":
+            continue
+        deadline = time.monotonic() + grace
+        for proc in processes:
+            try:
+                proc.join(max(0.0, deadline - time.monotonic()))
+            except Exception:
+                pass
+        for proc in processes:
+            if proc.is_alive():
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        for proc in processes:
+            if proc.is_alive():
+                try:
+                    proc.join(0.5)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(0.5)
+                except Exception:
+                    pass
 
 
 def _collect(futures: Sequence[Future], cancel: threading.Event,
@@ -211,6 +315,132 @@ def _collect(futures: Sequence[Future], cancel: threading.Event,
                 _evict_pool(backend, workers)
         return None
     return results
+
+
+# -- shared-memory segments -------------------------------------------------
+
+_SHM_SEQ = itertools.count()
+_LIVE_SEGMENTS: Dict[str, Any] = {}
+_SHM_LOCK = threading.Lock()
+
+
+def _shm_transport_on() -> bool:
+    """Can payload/result slabs ride shared memory right now?
+
+    Requires the platform module, numpy, the ``REPRO_NO_SHM`` switch
+    off, and the dense store on — with ``REPRO_NO_DENSE=1`` there are
+    no blocks to ship and workers must return boxed values anyway.
+    """
+    return (SHM_ENABLED and _shm_mod is not None and _np is not None
+            and dense.store_enabled())
+
+
+def _shm_create(nbytes: int, segments: Optional[list] = None):
+    """Create one tracked segment of ``nbytes`` bytes, or ``None``.
+
+    The name carries a ``repro_shm_`` prefix plus pid so leak checks
+    can spot stragglers in ``/dev/shm``; the live registry backs the
+    :func:`shm_live_segments` assertion the test suite runs.  A created
+    segment is appended to ``segments`` so the caller's ``finally`` can
+    release it on every exit path.
+    """
+    if not _shm_transport_on() or nbytes <= 0:
+        return None
+    name = f"repro_shm_{os.getpid()}_{next(_SHM_SEQ)}"
+    try:
+        seg = _shm_mod.SharedMemory(name=name, create=True, size=nbytes)
+    except Exception:
+        return None
+    with _SHM_LOCK:
+        _LIVE_SEGMENTS[seg.name] = seg
+    if segments is not None:
+        segments.append(seg)
+    return seg
+
+
+def _shm_release(seg) -> None:
+    """Close and unlink one parent-created segment (idempotent)."""
+    with _SHM_LOCK:
+        _LIVE_SEGMENTS.pop(seg.name, None)
+    try:
+        seg.close()
+    except Exception:
+        pass
+    try:
+        seg.unlink()
+    except Exception:
+        pass
+
+
+def shm_live_segments() -> int:
+    """How many parent-created segments are currently live.
+
+    Zero whenever no dispatch is in flight — the test suite asserts
+    this after every test, and CI checks ``/dev/shm`` stays clean.
+    """
+    with _SHM_LOCK:
+        return len(_LIVE_SEGMENTS)
+
+
+def shm_unlink_all() -> None:
+    """Release every live segment (atexit backstop, test isolation)."""
+    with _SHM_LOCK:
+        segments = list(_LIVE_SEGMENTS.values())
+        _LIVE_SEGMENTS.clear()
+    for seg in segments:
+        try:
+            seg.close()
+        except Exception:
+            pass
+        try:
+            seg.unlink()
+        except Exception:
+            pass
+
+
+def _shm_attach(name: str):
+    """Attach an existing segment by name (worker side).
+
+    Workers are forked, so they share the parent's resource-tracker
+    process: the attach-side registration lands in the same name set
+    the parent's create already populated, and the parent's ``unlink``
+    retires it exactly once.  (A spawn-context pool would need an
+    explicit ``resource_tracker.unregister`` here to avoid a second
+    tracker claiming the name — the pool factory only ever uses fork.)
+    """
+    return _shm_mod.SharedMemory(name=name)
+
+
+def _tag_dtype(tag: str):
+    """The natural numpy dtype of a dense-block tag."""
+    if tag == dense.TAG_REAL:
+        return _np.float64
+    if tag == dense.TAG_BOOL:
+        return _np.bool_
+    return _np.int64
+
+
+def _slab_dtype(tag: str):
+    """The 8-byte output-slab dtype for a tag (bools travel as int64)."""
+    return _np.float64 if tag == dense.TAG_REAL else _np.int64
+
+
+def _copy_into(seg, data) -> None:
+    """Copy a contiguous ndarray into the head of a segment's buffer."""
+    view = _np.frombuffer(seg.buf, dtype=data.dtype, count=data.size)
+    try:
+        view[:] = data.ravel()
+    finally:
+        del view
+
+
+def _atexit_cleanup() -> None:
+    """Bounded pool shutdown plus segment unlink, in that order."""
+    shutdown_pools()
+    shm_unlink_all()
+
+
+atexit.register(_atexit_cleanup)
 
 
 def _fork_probes(probe: Any, count: int) -> Optional[List[Any]]:
@@ -354,10 +584,15 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
     if len(shards) < 2:
         return None
     probe = evaluator.probe
-    if config.backend == "process":
-        return _tabulate_process(
+    backend = config.shard_backend()
+    started = time.perf_counter()
+    if backend == "process":
+        result = _tabulate_process(
             expr, _env_bindings_for(expr, env), extents, shards, probe,
             config)
+        if result is not None and config.adaptive:
+            config.observe("process", total, time.perf_counter() - started)
+        return result
 
     def make_task(worker, lo, hi, cancel):
         return lambda: _interp_rows(worker, expr, env, extents, lo, hi,
@@ -371,6 +606,8 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
     _merge_probes(probe, worker_probes, len(shards), total)
     if probe is not None:
         probe.on_cells(total)
+    if config.adaptive:
+        config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
 
 
@@ -386,9 +623,15 @@ def sum_interp(evaluator, expr: ast.Sum, env,
     if len(shards) < 2:
         return None
     probe = evaluator.probe
-    if config.backend == "process":
-        return _sum_process(expr, _env_bindings_for(expr, env), elements,
-                            shards, probe, config)
+    backend = config.shard_backend()
+    started = time.perf_counter()
+    if backend == "process":
+        result = _sum_process(expr, _env_bindings_for(expr, env), elements,
+                              shards, probe, config)
+        if result is not None and config.adaptive:
+            config.observe("process", len(elements),
+                           time.perf_counter() - started)
+        return result
 
     def make_task(worker, lo, hi, cancel):
         return lambda: _interp_sum_slice(worker, expr, env, elements,
@@ -403,6 +646,9 @@ def sum_interp(evaluator, expr: ast.Sum, env,
     for part in parts:
         for value in part:  # canonical order: float-exact vs serial
             total = total + value
+    if config.adaptive:
+        config.observe("thread", len(elements),
+                       time.perf_counter() - started)
     return (total,)
 
 
@@ -425,15 +671,20 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
     if len(shards) < 2:
         return None
     probe = compiler.probe
-    if config.backend == "process":
+    backend = config.shard_backend()
+    started = time.perf_counter()
+    if backend == "process":
         if probe is not None:
             # process workers re-interpret the body; interpreter-side
             # counters are only provably identical to the *interpreter's*
             # serial counters, so the compiled engine declines
             return None
         bindings = _scope_bindings(expr, scope, env)
-        return _tabulate_process(expr, bindings, extents, shards, None,
-                                 config)
+        result = _tabulate_process(expr, bindings, extents, shards, None,
+                                   config)
+        if result is not None and config.adaptive:
+            config.observe("process", total, time.perf_counter() - started)
+        return result
     worker_probes = _fork_probes(probe, len(shards))
     if worker_probes is None:
         return None
@@ -482,6 +733,8 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
     _merge_probes(probe, worker_probes, len(shards), total)
     if probe is not None:
         probe.on_cells(total)
+    if config.adaptive:
+        config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
 
 
@@ -494,12 +747,18 @@ def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
     if len(shards) < 2:
         return None
     probe = compiler.probe
-    if config.backend == "process":
+    backend = config.shard_backend()
+    started = time.perf_counter()
+    if backend == "process":
         if probe is not None:
             return None  # see tabulate_compiled
         bindings = _scope_bindings(expr, scope, env)
-        return _sum_process(expr, bindings, elements, shards, None,
-                            config)
+        result = _sum_process(expr, bindings, elements, shards, None,
+                              config)
+        if result is not None and config.adaptive:
+            config.observe("process", len(elements),
+                           time.perf_counter() - started)
+        return result
     worker_probes = _fork_probes(probe, len(shards))
     if worker_probes is None:
         return None
@@ -540,6 +799,9 @@ def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
     for part in parts:
         for value in part:
             total = total + value
+    if config.adaptive:
+        config.observe("thread", len(elements),
+                       time.perf_counter() - started)
     return (total,)
 
 
@@ -561,13 +823,14 @@ def _scope_bindings(expr, scope: Tuple[str, ...],
 # -- the process backend ----------------------------------------------------
 #
 # Workers are forked interpreters: the shard body is shipped as the AST
-# plus the (pickled) values of its free variables, and re-evaluated by a
-# fresh serial Evaluator in the child.  Anything that cannot make the
-# trip — native primitives in the body, unpicklable environment values —
-# fails the shard, which falls the whole construct back to serial.
-# Array values are probed dense before pickling: a block-backed Array's
-# ``__reduce__`` ships its raw buffer + dtype tag (one memcpy per shard)
-# instead of one object pickle per element.
+# plus the values of its free variables, and re-evaluated by a fresh
+# serial Evaluator in the child.  Anything that cannot make the trip —
+# native primitives in the body, unpicklable environment values — fails
+# the shard, which falls the whole construct back to serial.  Dense data
+# rides shared-memory segments (see the module docstring); everything
+# else keeps the boxed pickle format, where Array values are probed
+# dense first so a block-backed Array's ``__reduce__`` ships its raw
+# buffer + dtype tag instead of one object pickle per element.
 
 
 def _prime_dense(values) -> None:
@@ -590,40 +853,163 @@ def _contains_prim(expr: ast.Expr) -> bool:
     return any(_contains_prim(child) for child in expr.children())
 
 
+def _export_bindings(bindings, segments: list):
+    """Split bindings into pickled ones and shared-memory references.
+
+    An Array binding with a dense block of at least ``SHM_MIN_BYTES``
+    is copied once into a segment that every shard references by name —
+    the pickle path would duplicate the buffer per shard.  Returns
+    ``(plain_bindings, shm_refs)`` where each ref is
+    ``(name, segment, tag, dims)``.
+    """
+    if not _shm_transport_on():
+        return list(bindings), []
+    plain: List[Tuple[str, Any]] = []
+    refs: List[Tuple[str, str, str, tuple]] = []
+    for name, value in bindings:
+        block = value.dense_block() if isinstance(value, Array) else None
+        if block is not None and block.data.nbytes >= SHM_MIN_BYTES:
+            seg = _shm_create(block.data.nbytes, segments)
+            if seg is not None:
+                _copy_into(seg, block.data)
+                refs.append((name, seg.name, block.tag, value.dims))
+                continue
+        plain.append((name, value))
+    return plain, refs
+
+
+def _payload(kind: str, expr, plain, shm_binds, config: DispatchConfig,
+             probed: bool, extents=None, lo: int = 0, hi: int = 0,
+             elements=None, elements_shm=None, out=None) -> dict:
+    """One shard's wire payload (pickled small; bulk data is in shm).
+
+    ``out`` is ``(segment_name, cell_lo, cell_hi)`` naming the region
+    of the parent's output slab this shard owns, or ``None`` for the
+    boxed result format.  ``dense_on`` carries the parent's store
+    switch so a warm worker forked under a different configuration
+    still represents (and pickles) results the way the parent expects.
+    """
+    return {
+        "kind": kind,
+        "expr": expr,
+        "bindings": plain,
+        "shm_bindings": shm_binds,
+        "extents": extents,
+        "lo": lo,
+        "hi": hi,
+        "elements": elements,
+        "elements_shm": elements_shm,
+        "out": out,
+        "probed": probed,
+        "min_cells": config.min_cells,
+        "setops": config.setops,
+        "dense_on": dense.STORE_ENABLED,
+    }
+
+
+def _slab_write(out, values) -> Optional[tuple]:
+    """Write boxed shard values into the mapped output slab (worker side).
+
+    Probes the values dense; on success writes them into the shard's
+    region as int64/float64 (bools as int64) and returns
+    ``(tag, lo, hi)`` with the probe's integer bounds (``None`` bounds
+    for real/bool).  Returns ``None`` — caller ships boxed values —
+    when the values are not dense-representable.
+    """
+    seg_name, cell_lo, cell_hi = out
+    if _np is None or len(values) != cell_hi - cell_lo:
+        return None
+    block = dense.probe_block(values, (len(values),))
+    if block is None:
+        return None
+    seg = _shm_attach(seg_name)
+    try:
+        dtype = _slab_dtype(block.tag)
+        view = _np.frombuffer(seg.buf, dtype=dtype)
+        try:
+            view[cell_lo:cell_hi] = block.data.ravel().astype(dtype,
+                                                              copy=False)
+        finally:
+            del view
+    finally:
+        seg.close()
+    return (block.tag, block.lo, block.hi)
+
+
 def _process_worker(payload_bytes: bytes):
     """Runs in the child: evaluate one shard, never raise through pickle.
 
-    Returns ``("ok", values, metrics)`` or ``("err",)`` — errors are
-    reported as data so exotic exception types never have to survive a
-    pickle round-trip; the parent's serial rerun reproduces them.
+    Returns ``("ok", values, probe)`` (boxed result), ``("shm", tag,
+    lo, hi, probe)`` (values written into the parent's output slab), or
+    ``("err",)`` — errors are reported as data so exotic exception
+    types never have to survive a pickle round-trip; the parent's
+    serial rerun reproduces them.
     """
     from repro.core.eval import Env, Evaluator
 
+    attached = []
     try:
-        (kind, expr, bindings, extents, lo, hi, elements, probed,
-         min_cells, setops_on) = pickle.loads(payload_bytes)
+        payload = pickle.loads(payload_bytes)
+        # the parent's dense-store switch wins over whatever state this
+        # (possibly long-lived, possibly stale) worker forked with
+        dense.STORE_ENABLED = payload["dense_on"]
         env = None
-        for name, value in bindings:
+        for name, value in payload["bindings"]:
             env = Env.extend(env, name, value)
+        for name, seg_name, tag, dims in payload["shm_bindings"]:
+            seg = _shm_attach(seg_name)
+            attached.append(seg)
+            size = 1
+            for dim in dims:
+                size *= dim
+            data = _np.frombuffer(seg.buf, dtype=_tag_dtype(tag),
+                                  count=size).reshape(dims).copy()
+            env = Env.extend(env, name, Array(dims, data))
         probe = None
-        if probed:
+        if payload["probed"]:
             from repro.obs.metrics import EvalMetrics
 
             probe = EvalMetrics()
-        worker_cfg = DispatchConfig(min_cells=min_cells, workers=0,
-                                    setops=setops_on)
+        worker_cfg = DispatchConfig(min_cells=payload["min_cells"],
+                                    workers=0, setops=payload["setops"])
         worker = Evaluator({}, probe=probe, parallel=worker_cfg)
-        if kind == "tabulate":
-            values = _interp_rows(worker, expr, env, extents, lo, hi, None)
+        if payload["kind"] == "tabulate":
+            values = _interp_rows(worker, payload["expr"], env,
+                                  payload["extents"], payload["lo"],
+                                  payload["hi"], None)
+        elif payload["elements_shm"] is not None:
+            seg_name, tag, count = payload["elements_shm"]
+            seg = _shm_attach(seg_name)
+            attached.append(seg)
+            view = _np.frombuffer(seg.buf, dtype=_tag_dtype(tag),
+                                  count=count)
+            try:
+                elements = view[payload["lo"]:payload["hi"]].tolist()
+            finally:
+                del view
+            values = _interp_sum_slice(worker, payload["expr"], env,
+                                       elements, 0, len(elements), None)
         else:
-            values = _interp_sum_slice(worker, expr, env, elements,
-                                       lo, hi, None)
+            values = _interp_sum_slice(worker, payload["expr"], env,
+                                       payload["elements"], payload["lo"],
+                                       payload["hi"], None)
+        if payload["out"] is not None:
+            written = _slab_write(payload["out"], values)
+            if written is not None:
+                tag, lo_bound, hi_bound = written
+                return ("shm", tag, lo_bound, hi_bound, probe)
         return ("ok", values, probe)
     except BaseException:
         return ("err",)
+    finally:
+        for seg in attached:
+            try:
+                seg.close()
+            except Exception:
+                pass
 
 
-def _run_process_shards(payloads: List[tuple],
+def _run_process_shards(payloads: List[dict],
                         config: DispatchConfig) -> Optional[List[tuple]]:
     """Pickle + dispatch shard payloads; ``None`` on any failure."""
     blobs = []
@@ -644,7 +1030,7 @@ def _run_process_shards(payloads: List[tuple],
     outcomes = _collect(futures, cancel, "process", config.workers)
     if outcomes is None:
         return None
-    if any(outcome[0] != "ok" for outcome in outcomes):
+    if any(outcome[0] not in ("ok", "shm") for outcome in outcomes):
         return None
     return outcomes
 
@@ -664,60 +1050,195 @@ def _probed_for_process(probe) -> Optional[bool]:
     return True
 
 
+def _stitch_tabulate(outcomes, out_seg, cell_ranges, extents, total):
+    """Assemble shard outcomes into ``(Array, zero_copy_count)``.
+
+    When every shard wrote the slab with one agreed tag, the whole slab
+    becomes the result's dense backing in a single copy (the segment is
+    about to be unlinked, so the buffer cannot be viewed in place).
+    Mixed outcomes box slab regions back in shard order and interleave
+    them with the boxed shards.  ``None`` only on protocol violations,
+    which fall back to serial.
+    """
+    zero_copy = sum(1 for outcome in outcomes if outcome[0] == "shm")
+    if zero_copy and out_seg is None:
+        return None
+    if zero_copy == len(outcomes):
+        tags = {outcome[1] for outcome in outcomes}
+        if len(tags) == 1:
+            tag = tags.pop()
+            data = _np.frombuffer(out_seg.buf, dtype=_slab_dtype(tag),
+                                  count=total).copy()
+            if tag == dense.TAG_BOOL:
+                data = data.astype(_np.bool_)
+            return Array(extents, data.reshape(tuple(extents))), zero_copy
+    values: list = []
+    for outcome, (cell_lo, cell_hi) in zip(outcomes, cell_ranges):
+        if outcome[0] == "shm":
+            view = _np.frombuffer(out_seg.buf, dtype=_slab_dtype(outcome[1]),
+                                  count=total)
+            try:
+                piece = view[cell_lo:cell_hi]
+                if outcome[1] == dense.TAG_BOOL:
+                    piece = piece.astype(_np.bool_)
+                values.extend(piece.tolist())
+            finally:
+                del view
+        else:
+            values.extend(outcome[1])
+    return Array(extents, values), zero_copy
+
+
+def _fold_sum(outcomes, out_seg, shards, count) -> Optional[tuple]:
+    """Fold shard Σ outcomes in canonical order; ``(total,)`` or ``None``.
+
+    All-integer slabs sum vectorized when the ``INT_GUARD`` bound
+    proves int64 accumulation cannot overflow (integer addition is
+    associative, so the result is the serial fold's exactly); floats
+    always fold boxed left-to-right in shard order, preserving the
+    serial fold's non-associative rounding bit-for-bit.
+    """
+    shm_count = sum(1 for outcome in outcomes if outcome[0] == "shm")
+    if shm_count and out_seg is None:
+        return None
+    if shm_count == len(outcomes) \
+            and all(outcome[1] == dense.TAG_INT for outcome in outcomes):
+        maxabs = max((max(abs(outcome[2]), abs(outcome[3]))
+                      for outcome in outcomes), default=0)
+        if count * maxabs <= dense.INT_GUARD:
+            view = _np.frombuffer(out_seg.buf, dtype=_np.int64, count=count)
+            try:
+                total = int(view.sum())
+            finally:
+                del view
+            return (total,)
+    total: Any = 0
+    for outcome, (lo, hi) in zip(outcomes, shards):
+        if outcome[0] == "shm":
+            view = _np.frombuffer(out_seg.buf, dtype=_slab_dtype(outcome[1]),
+                                  count=count)
+            try:
+                piece = view[lo:hi]
+                if outcome[1] == dense.TAG_BOOL:
+                    piece = piece.astype(_np.bool_)
+                boxed = piece.tolist()
+            finally:
+                del view
+            for value in boxed:
+                total = total + value
+        else:
+            for value in outcome[1]:
+                total = total + value
+    return (total,)
+
+
 def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
                       probe, config: DispatchConfig) -> Optional[Array]:
+    """Process-backend tabulation over the shared-memory transport."""
     if bindings is None or _contains_prim(expr.body):
         return None
     probed = _probed_for_process(probe)
     if probed is None:
-        return None
-    _prime_dense(value for _, value in bindings)
-    payloads = [
-        ("tabulate", expr, bindings, list(extents), lo, hi, None, probed,
-         config.min_cells, config.setops)
-        for lo, hi in shards
-    ]
-    outcomes = _run_process_shards(payloads, config)
-    if outcomes is None:
         return None
     total = 1
     for extent in extents:
         total *= extent
-    values = [value for outcome in outcomes for value in outcome[1]]
-    _merge_probes(probe, [o[2] for o in outcomes] if probed else [],
-                  len(shards), total)
-    if probe is not None:
-        probe.on_cells(total)
-    return Array(extents, values)
+    row = total // extents[0] if extents[0] else 0
+    segments: List[Any] = []
+    try:
+        plain, shm_binds = _export_bindings(bindings, segments)
+        _prime_dense(value for _, value in plain)
+        out_seg = _shm_create(total * 8, segments)
+        payloads = [
+            _payload("tabulate", expr, plain, shm_binds, config, probed,
+                     extents=list(extents), lo=lo, hi=hi,
+                     out=((out_seg.name, lo * row, hi * row)
+                          if out_seg is not None else None))
+            for lo, hi in shards
+        ]
+        outcomes = _run_process_shards(payloads, config)
+        if outcomes is None:
+            return None
+        cell_ranges = [(lo * row, hi * row) for lo, hi in shards]
+        stitched = _stitch_tabulate(outcomes, out_seg, cell_ranges,
+                                    extents, total)
+        if stitched is None:
+            return None
+        result, zero_copy = stitched
+        _merge_probes(probe,
+                      [outcome[-1] for outcome in outcomes] if probed else [],
+                      len(shards), total)
+        if probe is not None:
+            probe.on_cells(total)
+            if segments:
+                probe.on_shm(len(segments),
+                             sum(seg.size for seg in segments), zero_copy)
+        return result
+    finally:
+        # every exit path — success, shard ⊥, broken pool — unlinks
+        for seg in segments:
+            _shm_release(seg)
 
 
 def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
                  config: DispatchConfig) -> Optional[Tuple[Any]]:
+    """Process-backend Σ over the shared-memory transport."""
     if bindings is None or _contains_prim(expr.body):
         return None
     probed = _probed_for_process(probe)
     if probed is None:
         return None
-    _prime_dense(value for _, value in bindings)
-    _prime_dense(elements)
-    payloads = [
-        ("sum", expr, bindings, None, 0, hi - lo, list(elements[lo:hi]),
-         probed, config.min_cells, config.setops)
-        for lo, hi in shards
-    ]
-    outcomes = _run_process_shards(payloads, config)
-    if outcomes is None:
-        return None
-    _merge_probes(probe, [o[2] for o in outcomes] if probed else [],
-                  len(shards), len(elements))
-    total: Any = 0
-    for outcome in outcomes:
-        for value in outcome[1]:
-            total = total + value
-    return (total,)
+    count = len(elements)
+    segments: List[Any] = []
+    try:
+        plain, shm_binds = _export_bindings(bindings, segments)
+        _prime_dense(value for _, value in plain)
+        elements_ref = None
+        if _shm_transport_on():
+            block = dense.probe_block(elements, (count,))
+            if block is not None:
+                seg = _shm_create(block.data.nbytes, segments)
+                if seg is not None:
+                    _copy_into(seg, block.data)
+                    elements_ref = (seg.name, block.tag, count)
+        out_seg = _shm_create(count * 8, segments)
+        payloads = []
+        for lo, hi in shards:
+            out = (out_seg.name, lo, hi) if out_seg is not None else None
+            if elements_ref is not None:
+                payloads.append(
+                    _payload("sum", expr, plain, shm_binds, config, probed,
+                             lo=lo, hi=hi, elements_shm=elements_ref,
+                             out=out))
+            else:
+                payloads.append(
+                    _payload("sum", expr, plain, shm_binds, config, probed,
+                             lo=0, hi=hi - lo,
+                             elements=list(elements[lo:hi]), out=out))
+        if elements_ref is None:
+            _prime_dense(elements)
+        outcomes = _run_process_shards(payloads, config)
+        if outcomes is None:
+            return None
+        folded = _fold_sum(outcomes, out_seg, shards, count)
+        if folded is None:
+            return None
+        zero_copy = sum(1 for outcome in outcomes if outcome[0] == "shm")
+        _merge_probes(probe,
+                      [outcome[-1] for outcome in outcomes] if probed else [],
+                      len(shards), count)
+        if probe is not None and segments:
+            probe.on_shm(len(segments),
+                         sum(seg.size for seg in segments), zero_copy)
+        return folded
+    finally:
+        for seg in segments:
+            _shm_release(seg)
 
 
 __all__ = [
-    "ENABLED", "available", "split", "in_worker", "shutdown_pools",
+    "ENABLED", "SHM_ENABLED", "SHM_MIN_BYTES", "SHUTDOWN_GRACE",
+    "available", "split", "in_worker", "shutdown_pools",
+    "shm_live_segments", "shm_unlink_all",
     "tabulate_interp", "sum_interp", "tabulate_compiled", "sum_compiled",
 ]

@@ -63,6 +63,14 @@ class EvalProbe:
         ordinary materialization hooks, which the parent still fires so
         shard-merged counters stay equal to a serial run's."""
 
+    def on_shm(self, segments: int, nbytes: int, zero_copy: int) -> None:
+        """A sharded process dispatch moved its payloads/results through
+        ``segments`` shared-memory segments totalling ``nbytes`` bytes
+        (:mod:`repro.core.parallel`); ``zero_copy`` of its shards
+        returned results as dense slabs with no per-element pickling.
+        Like :meth:`on_parallel`, only a sharded run reports this — a
+        serial run's counters stay at zero."""
+
     def fork(self):
         """A fresh probe of this kind for one shard worker, or ``None``.
 
@@ -101,6 +109,7 @@ class EvalMetrics(EvalProbe):
     __slots__ = ("node_evals", "nodes_by_class", "cells_materialized",
                  "cells_vectorized", "tabulations", "tabulations_vectorized",
                  "shards_executed", "cells_parallel",
+                 "shm_segments", "shm_bytes", "shards_zero_copy",
                  "index_groupbys", "index_cells",
                  "index_groups", "index_pairs", "index_sorted",
                  "max_group_size", "joins_hashed", "join_pairs_matched",
@@ -117,6 +126,9 @@ class EvalMetrics(EvalProbe):
         self.tabulations_vectorized = 0
         self.shards_executed = 0
         self.cells_parallel = 0
+        self.shm_segments = 0
+        self.shm_bytes = 0
+        self.shards_zero_copy = 0
         self.index_groupbys = 0
         self.index_cells = 0
         self.index_groups = 0
@@ -154,6 +166,12 @@ class EvalMetrics(EvalProbe):
         self.shards_executed += shards
         self.cells_parallel += cells
 
+    def on_shm(self, segments: int, nbytes: int, zero_copy: int) -> None:
+        """Count one dispatch's shared-memory transport economy."""
+        self.shm_segments += segments
+        self.shm_bytes += nbytes
+        self.shards_zero_copy += zero_copy
+
     # -- the shard-worker protocol -------------------------------------------
 
     def fork(self) -> "EvalMetrics":
@@ -180,6 +198,9 @@ class EvalMetrics(EvalProbe):
         self.tabulations_vectorized += other.tabulations_vectorized
         self.shards_executed += other.shards_executed
         self.cells_parallel += other.cells_parallel
+        self.shm_segments += other.shm_segments
+        self.shm_bytes += other.shm_bytes
+        self.shards_zero_copy += other.shards_zero_copy
         self.index_groupbys += other.index_groupbys
         self.index_cells += other.index_cells
         self.index_groups += other.index_groups
@@ -252,6 +273,9 @@ class EvalMetrics(EvalProbe):
             "tabulations_vectorized": self.tabulations_vectorized,
             "shards_executed": self.shards_executed,
             "cells_parallel": self.cells_parallel,
+            "shm_segments": self.shm_segments,
+            "shm_bytes": self.shm_bytes,
+            "shards_zero_copy": self.shards_zero_copy,
             "index_groupbys": self.index_groupbys,
             "index_cells": self.index_cells,
             "index_groups": self.index_groups,
@@ -278,6 +302,9 @@ class EvalMetrics(EvalProbe):
             f"(in {self.tabulations_vectorized} tabulations)",
             f"parallel shards       {self.shards_executed} "
             f"({self.cells_parallel} cells)",
+            f"shared memory         {self.shm_segments} segments "
+            f"({self.shm_bytes} bytes, "
+            f"{self.shards_zero_copy} zero-copy shards)",
             f"index_k group-bys     {self.index_groupbys} "
             f"({self.index_pairs} pairs -> {self.index_groups} groups, "
             f"{self.index_cells} cells, max group {self.max_group_size}, "

@@ -13,7 +13,8 @@ the optimizer, ``:load FILE`` runs an AQL script into the session,
 ``:cache`` prints the plan-cache occupancy and counters (``:cache
 clear`` empties it — see ``docs/PLAN_CACHE.md``), ``:parallel
 [WORKERS [BACKEND [MIN_CELLS]]]`` shows or tunes the sharded executor
-(see ``docs/PARALLEL.md``), ``:setops [on|off]`` shows or toggles the
+and ``:parallel adaptive on|off`` toggles measured-rate dispatch
+selection (see ``docs/PARALLEL.md``), ``:setops [on|off]`` shows or toggles the
 set-engine fast paths (hash equi-joins and sort-based ``index_k``
 grouping — see ``docs/SETOPS.md``), and ``:profile QUERY;`` runs a statement
 with observability on and prints the EXPLAIN report (optimized core,
@@ -43,7 +44,11 @@ def parallel_command(session: Session, args: str) -> str:
 
     ``:parallel`` prints the current config; ``:parallel WORKERS
     [BACKEND] [MIN_CELLS]`` updates it (``:parallel 4 process``,
-    ``:parallel 0`` back to serial).  See ``docs/PARALLEL.md``.
+    ``:parallel 0`` back to serial); ``:parallel adaptive on|off``
+    toggles measured-rate dispatch selection (the status line then
+    shows the learned cells-per-second rates).  Every field is
+    validated before anything is mutated, so a rejected update leaves
+    the config untouched.  See ``docs/PARALLEL.md``.
     """
     from repro.core import parallel
     from repro.core.fastpath import PARALLEL_BACKENDS
@@ -51,29 +56,52 @@ def parallel_command(session: Session, args: str) -> str:
     config = session.env.parallel
     if args:
         fields = args.split()
-        try:
-            workers = int(fields[0])
-            if workers < 0:
-                raise ValueError
-        except ValueError:
-            return f"workers must be a non-negative int, got {fields[0]!r}"
-        backend = config.backend
-        if len(fields) > 1:
-            backend = fields[1]
-            if backend not in PARALLEL_BACKENDS:
-                return (f"unknown backend {backend!r} (expected one of "
-                        f"{', '.join(PARALLEL_BACKENDS)})")
-        if len(fields) > 2:
+        if fields[0] == "adaptive":
+            if len(fields) > 1:
+                if fields[1] == "on":
+                    config.adaptive = True
+                elif fields[1] == "off":
+                    config.adaptive = False
+                else:
+                    return (f"usage: :parallel adaptive [on|off] "
+                            f"(got {fields[1]!r})")
+        else:
             try:
-                config.min_cells = int(fields[2])
+                workers = int(fields[0])
+                if workers < 0:
+                    raise ValueError
             except ValueError:
-                return f"min_cells must be an int, got {fields[2]!r}"
-        config.workers = workers
-        config.backend = backend
+                return (f"workers must be a non-negative int, "
+                        f"got {fields[0]!r}")
+            backend = config.backend
+            if len(fields) > 1:
+                backend = fields[1]
+                if backend not in PARALLEL_BACKENDS:
+                    return (f"unknown backend {backend!r} (expected one of "
+                            f"{', '.join(PARALLEL_BACKENDS)})")
+            min_cells = config.min_cells
+            if len(fields) > 2:
+                try:
+                    min_cells = int(fields[2])
+                    if min_cells < 0:
+                        raise ValueError
+                except ValueError:
+                    return (f"min_cells must be a non-negative int, "
+                            f"got {fields[2]!r}")
+            config.workers = workers
+            config.backend = backend
+            config.min_cells = min_cells
     state = "enabled" if parallel.ENABLED else \
         "disabled (REPRO_NO_PARALLEL=1)"
-    return (f"parallel {state}: workers={config.workers} "
-            f"backend={config.backend} min_cells={config.min_cells}")
+    line = (f"parallel {state}: workers={config.workers} "
+            f"backend={config.backend} min_cells={config.min_cells} "
+            f"adaptive={'on' if config.adaptive else 'off'}")
+    rates = config.rates()
+    if rates:
+        shown = " ".join(f"{mode}={rate:.0f}"
+                         for mode, rate in sorted(rates.items()))
+        line += f" rates[cells/s]: {shown}"
+    return line
 
 
 def setops_command(session: Session, args: str) -> str:

@@ -97,7 +97,8 @@ class Session:
                  parallel_workers: Optional[int] = None,
                  parallel_backend: Optional[str] = None,
                  min_cells: Optional[int] = None,
-                 setops: Optional[bool] = None):
+                 setops: Optional[bool] = None,
+                 adaptive: Optional[bool] = None):
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
         # fast-path tuning mutates the TopEnv's shared DispatchConfig in
@@ -133,6 +134,12 @@ class Session:
                     f"setops must be a bool, got {setops!r}"
                 )
             self.env.parallel.setops = setops
+        if adaptive is not None:
+            if not isinstance(adaptive, bool):
+                raise SessionError(
+                    f"adaptive must be a bool, got {adaptive!r}"
+                )
+            self.env.parallel.adaptive = adaptive
         self._desugarer = Desugarer()
         #: the optimized core of the most recent compilation (EXPLAIN)
         self._last_core: Optional[ast.Expr] = None

@@ -11,6 +11,19 @@ from repro.objects.bag import Bag
 from repro.system.session import Session
 
 
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Suite-wide leak check: every test must retire its shared-memory
+    segments.  A dispatch that exits without unlinking would strand a
+    ``/dev/shm`` file past interpreter death, so the invariant is
+    enforced at every test boundary, not just in the parallel tests."""
+    from repro.core import parallel
+
+    yield
+    assert parallel.shm_live_segments() == 0, \
+        "test leaked shared-memory segments"
+
+
 @pytest.fixture(scope="session")
 def std_env() -> TopEnv:
     """One standard environment shared across the suite (macros are

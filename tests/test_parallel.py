@@ -30,9 +30,10 @@ from repro.system.session import Session
 
 ENGINES = [Evaluator, CompiledEvaluator]
 
-#: the two keys only a sharded run reports; everything else must match
+#: the keys only a sharded run reports; everything else must match
 #: a serial run exactly
-PARALLEL_ONLY = ("shards_executed", "cells_parallel")
+PARALLEL_ONLY = ("shards_executed", "cells_parallel",
+                 "shm_segments", "shm_bytes", "shards_zero_copy")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,454 @@
+"""The shared-memory transport and lifecycle of ``repro.core.parallel``.
+
+Contract under test (``docs/PARALLEL.md``): dense shard payloads and
+results travel as ``multiprocessing.shared_memory`` segments, every
+segment is unlinked on every exit path (success, strict-⊥ discard,
+broken pool), a wedged worker can never hang interpreter exit, a
+no-dense parent never receives dense-backed shard results, and the
+adaptive dispatcher's measured-rate decisions never change *what* is
+computed — only whether it shards.  ``tests/conftest.py`` additionally
+asserts zero live segments after every test in the whole suite.
+"""
+
+import glob
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from test_parallel import (BIG_SUM, BRANCHY, POISONED, assert_identical,
+                           counters, outcome, parallel_config, serial_config)
+
+from repro.core import ast
+from repro.core import parallel
+from repro.core.eval import Evaluator
+from repro.core.fastpath import (ADAPTIVE_MIN_SECONDS, DispatchConfig)
+from repro.errors import SessionError
+from repro.obs.metrics import EvalMetrics
+from repro.objects import dense
+from repro.objects.array import Array
+from repro.system.repl import parallel_command
+from repro.system.session import Session
+
+
+@pytest.fixture(autouse=True)
+def _parallel_on(monkeypatch):
+    """Pin the kill switch on (mirrors ``test_parallel``)."""
+    monkeypatch.setattr(parallel, "ENABLED", True)
+
+
+#: an operand binding big enough (8192 bytes as int64) to ride one
+#: shared segment instead of being re-pickled into every shard payload
+BIG_OPERAND = Array((64, 16), list(range(1024)))
+
+#: branchy tabulation whose every cell is the big operand — exercises
+#: payload export (one segment, many shards) and the boxed-result
+#: degradation (Array cells are not slab-representable)
+USES_OPERAND = ast.Tabulate(
+    ("x",), (ast.NatLit(128),),
+    ast.If(ast.Cmp("<=", ast.Var("x"), ast.NatLit(64)),
+           ast.Var("big"), ast.Var("big")),
+)
+
+#: order-sensitive float Σ over a 300-element dense source — elements
+#: ride one segment in, body values come back through the float64 slab
+FLOAT_ELEMENTS = Array.from_list([(k % 7) * 0.375 - 1.5
+                                  for k in range(300)])
+FLOAT_SLAB_SUM = ast.Sum(
+    "e", ast.Arith("+", ast.Var("e"), ast.RealLit(0.0)), ast.Var("ar"),
+)
+
+#: nested tabulation whose cells are themselves arrays — exercises the
+#: ``dense_on`` propagation through ``Array.__reduce__`` on the way back
+NESTED = ast.Tabulate(
+    ("x",), (ast.NatLit(20),),
+    ast.Tabulate(("y",), (ast.NatLit(30),),
+                 ast.Arith("*", ast.Var("x"), ast.Var("y"))),
+)
+
+
+def _shm_required():
+    if not parallel._shm_transport_on():
+        pytest.skip("shared-memory transport unavailable on this lane")
+
+
+# ---------------------------------------------------------------------------
+# the zero-copy transport
+# ---------------------------------------------------------------------------
+
+class TestShmTransport:
+
+    def test_zero_copy_counters_recorded(self):
+        """A dense process dispatch reports its transport economy, and
+        every shard lands in the slab (zero per-element pickling)."""
+        _shm_required()
+        reference = outcome(Evaluator, BRANCHY, serial_config())
+        metrics = EvalMetrics()
+        sharded = outcome(Evaluator, BRANCHY,
+                          parallel_config(3, "process"), probe=metrics)
+        assert sharded[0] == "value"
+        assert_identical(sharded[1], reference[1])
+        assert metrics.shards_executed == 3
+        assert metrics.shards_zero_copy == 3
+        assert metrics.shm_segments >= 1
+        assert metrics.shm_bytes >= 144 * 8  # at least the output slab
+        assert parallel.shm_live_segments() == 0
+
+    def test_float_slab_sum_is_bit_exact(self):
+        """Float body values round-trip the float64 slab bit-for-bit,
+        so the parent's in-order fold equals the serial fold exactly."""
+        _shm_required()
+        binds = {"ar": FLOAT_ELEMENTS}
+        reference = outcome(Evaluator, FLOAT_SLAB_SUM, serial_config(),
+                            binds=binds)
+        metrics = EvalMetrics()
+        sharded = outcome(Evaluator, FLOAT_SLAB_SUM,
+                          parallel_config(3, "process"), probe=metrics,
+                          binds=binds)
+        assert sharded[0] == reference[0] == "value"
+        assert_identical(sharded[1], reference[1])
+        assert metrics.shards_zero_copy == metrics.shards_executed == 3
+        assert metrics.shm_segments >= 2  # elements in + slab out
+
+    def test_big_operand_rides_one_segment(self):
+        """An operand above ``SHM_MIN_BYTES`` is exported once and
+        referenced by all shards; Array-valued cells degrade the result
+        to the boxed format without failing."""
+        _shm_required()
+        binds = {"big": BIG_OPERAND}
+        reference = outcome(Evaluator, USES_OPERAND, serial_config(),
+                            binds=binds)
+        metrics = EvalMetrics()
+        sharded = outcome(Evaluator, USES_OPERAND,
+                          parallel_config(3, "process"), probe=metrics,
+                          binds=binds)
+        assert sharded[0] == "value"
+        assert_identical(sharded[1], reference[1])
+        assert metrics.shards_executed == 3
+        assert metrics.shards_zero_copy == 0  # boxed degradation
+        assert metrics.shm_segments == 2  # operand + (unused) out slab
+        assert metrics.shm_bytes >= BIG_OPERAND.dense_block().data.nbytes
+
+    def test_no_shm_kill_switch_keeps_sharding(self, monkeypatch):
+        """``REPRO_NO_SHM=1``: dispatches still run (boxed pickle wire
+        format), results agree, and no segments are ever created."""
+        monkeypatch.setattr(parallel, "SHM_ENABLED", False)
+        reference = outcome(Evaluator, BRANCHY, serial_config())
+        metrics = EvalMetrics()
+        sharded = outcome(Evaluator, BRANCHY,
+                          parallel_config(3, "process"), probe=metrics)
+        assert sharded[0] == "value"
+        assert_identical(sharded[1], reference[1])
+        assert metrics.shards_executed == 3
+        assert metrics.shm_segments == 0
+        assert metrics.shm_bytes == 0
+        assert metrics.shards_zero_copy == 0
+
+    def test_serial_runs_never_report_shm(self):
+        metrics = EvalMetrics()
+        outcome(Evaluator, BRANCHY, serial_config(), probe=metrics)
+        assert metrics.shm_segments == 0
+        assert metrics.shm_bytes == 0
+        assert metrics.shards_zero_copy == 0
+
+
+# ---------------------------------------------------------------------------
+# segment lifecycle: every exit path unlinks
+# ---------------------------------------------------------------------------
+
+class TestSegmentLifecycle:
+
+    def test_poisoned_dispatch_unlinks_and_discards_counters(self):
+        """Strict ⊥ discards *all* parallel work: the serial rerun's
+        counters are the only ones that land (shm keys included), and
+        no segment survives the discarded dispatch."""
+        serial_metrics = EvalMetrics()
+        sharded_metrics = EvalMetrics()
+        reference = outcome(Evaluator, POISONED, serial_config(),
+                            probe=serial_metrics)
+        sharded = outcome(Evaluator, POISONED,
+                          parallel_config(4, "process"),
+                          probe=sharded_metrics)
+        assert reference[0] == "bottom"
+        assert sharded == reference
+        assert sharded_metrics.to_dict() == serial_metrics.to_dict()
+        assert parallel.shm_live_segments() == 0
+
+    def test_unlink_all_backstop(self):
+        """The atexit backstop retires whatever the registry holds."""
+        seg = parallel._shm_create(4096)
+        if seg is None:
+            pytest.skip("shared-memory transport unavailable on this lane")
+        assert parallel.shm_live_segments() == 1
+        parallel.shm_unlink_all()
+        assert parallel.shm_live_segments() == 0
+
+    def test_release_is_idempotent(self):
+        seg = parallel._shm_create(4096)
+        if seg is None:
+            pytest.skip("shared-memory transport unavailable on this lane")
+        parallel._shm_release(seg)
+        parallel._shm_release(seg)  # second release must be a no-op
+        assert parallel.shm_live_segments() == 0
+
+    def test_dev_shm_is_clean_after_dispatches(self):
+        """The OS view agrees with the registry: no ``repro_shm_*``
+        file survives a burst of dense dispatches."""
+        for expr in (BRANCHY, BIG_SUM):
+            result = outcome(Evaluator, expr,
+                             parallel_config(2, "process"))
+            assert result[0] == "value"
+        assert parallel.shm_live_segments() == 0
+        if os.path.isdir("/dev/shm"):
+            assert glob.glob("/dev/shm/repro_shm_*") == []
+
+
+# ---------------------------------------------------------------------------
+# pool lifecycle: bounded shutdown, broken-pool recovery
+# ---------------------------------------------------------------------------
+
+def _wedge():
+    """A worker stuck in a call that ignores SIGTERM (picklable task)."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(60)
+
+
+class TestPoolLifecycle:
+
+    def test_wedged_worker_cannot_hang_shutdown(self):
+        """``shutdown_pools`` escalates join → terminate → kill within
+        its grace budget, so a SIGTERM-ignoring worker cannot wedge
+        interpreter exit."""
+        pool = parallel._get_pool("process", 2)
+        if pool is None:
+            pytest.skip("no process pool on this platform")
+        pool.submit(_wedge)
+        time.sleep(0.3)  # let a worker pick the task up
+        procs = list(pool._processes.values())
+        started = time.monotonic()
+        parallel.shutdown_pools(grace=0.5)
+        elapsed = time.monotonic() - started
+        assert elapsed < parallel.SHUTDOWN_GRACE + 3.0
+        for proc in procs:
+            proc.join(2.0)
+            assert not proc.is_alive()
+
+    def test_killed_workers_fall_back_to_serial_and_recover(self):
+        """Workers dying mid-dispatch break the pool: the construct
+        falls back to the serial loop (serial-identical result and
+        counters, no leaked segments) and the broken pool is evicted so
+        the *next* dispatch shards again on a fresh one."""
+        config = parallel_config(2, "process")
+        reference = outcome(Evaluator, BRANCHY, serial_config())
+        ref_metrics = EvalMetrics()
+        outcome(Evaluator, BRANCHY, serial_config(), probe=ref_metrics)
+        warm = outcome(Evaluator, BRANCHY, config)
+        if warm[0] != "value":  # pragma: no cover - no fork platform
+            pytest.skip("no process pool on this platform")
+        pool = parallel._get_pool("process", 2)
+        for proc in list(pool._processes.values()):
+            proc.kill()
+        metrics = EvalMetrics()
+        result = outcome(Evaluator, BRANCHY, config, probe=metrics)
+        assert result[0] == "value"
+        assert_identical(result[1], reference[1])
+        assert metrics.shards_executed == 0  # dispatch failed, serial ran
+        assert metrics.to_dict() == ref_metrics.to_dict()
+        assert parallel.shm_live_segments() == 0
+        again = EvalMetrics()
+        recovered = outcome(Evaluator, BRANCHY, config, probe=again)
+        assert recovered[0] == "value"
+        assert_identical(recovered[1], reference[1])
+        assert again.shards_executed == 2  # fresh pool after eviction
+
+
+# ---------------------------------------------------------------------------
+# configuration inheritance: workers obey the parent's switches
+# ---------------------------------------------------------------------------
+
+class TestWorkerInheritance:
+
+    def test_no_dense_parent_receives_boxed_results(self, monkeypatch):
+        """``REPRO_NO_DENSE`` propagates: a warm worker forked under
+        any configuration must pickle results the no-dense parent's
+        way, so no cell arrives dense-backed."""
+        binds = {"big": BIG_OPERAND}
+        # warm the pool with the dense store ON, so the workers' forked
+        # module state disagrees with the parent's flip below
+        warm = outcome(Evaluator, BRANCHY, parallel_config(3, "process"))
+        if warm[0] != "value":  # pragma: no cover - no fork platform
+            pytest.skip("no process pool on this platform")
+        monkeypatch.setattr(dense, "STORE_ENABLED", False)
+        reference = outcome(Evaluator, NESTED, serial_config(),
+                            binds=binds)
+        metrics = EvalMetrics()
+        sharded = outcome(Evaluator, NESTED,
+                          parallel_config(3, "process"), probe=metrics,
+                          binds=binds)
+        assert sharded[0] == "value"
+        assert metrics.shards_executed == 3
+        assert metrics.shm_segments == 0  # no dense store, no transport
+        for cell in sharded[1].flat:
+            assert cell._block is None  # boxed, exactly as the parent is
+        assert_identical(sharded[1], reference[1])
+
+    def test_worker_config_drops_adaptive_and_sharding(self):
+        config = DispatchConfig(min_cells=7, workers=4,
+                                backend="process", adaptive=True)
+        worker = parallel._worker_config(config)
+        assert worker.workers == 0
+        assert worker.min_cells == 7
+        assert worker.adaptive is False
+
+
+# ---------------------------------------------------------------------------
+# two evaluators, one warm pool
+# ---------------------------------------------------------------------------
+
+class TestConcurrentDispatch:
+
+    def test_two_threads_dispatch_on_one_warm_pool(self):
+        """Two evaluators sharding simultaneously against the same
+        cached pool: per-probe counters stay single-writer-exact and
+        every segment is retired."""
+        reference = outcome(Evaluator, BRANCHY, serial_config())
+        ref_metrics = EvalMetrics()
+        outcome(Evaluator, BRANCHY, serial_config(), probe=ref_metrics)
+        warm = outcome(Evaluator, BRANCHY, parallel_config(2, "process"))
+        if warm[0] != "value":  # pragma: no cover - no fork platform
+            pytest.skip("no process pool on this platform")
+        errors = []
+        done = [False, False]
+
+        def work(slot):
+            try:
+                for _ in range(3):
+                    metrics = EvalMetrics()
+                    got = outcome(Evaluator, BRANCHY,
+                                  parallel_config(2, "process"),
+                                  probe=metrics)
+                    assert got[0] == "value"
+                    assert_identical(got[1], reference[1])
+                    assert counters(metrics) == counters(ref_metrics)
+                    assert metrics.shards_executed == 2
+                done[slot] = True
+            except BaseException as exc:  # surface into the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(slot,))
+                   for slot in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        assert done == [True, True]
+        assert parallel.shm_live_segments() == 0
+
+
+# ---------------------------------------------------------------------------
+# adaptive dispatch selection
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveDispatch:
+
+    def test_serial_rate_is_observed(self):
+        config = DispatchConfig(min_cells=1, workers=0, adaptive=True)
+        result = outcome(Evaluator, BRANCHY, config)
+        assert result[0] == "value"
+        assert config.rates().get("serial", 0) > 0
+
+    def test_static_config_records_nothing(self):
+        config = DispatchConfig(min_cells=1, workers=0, adaptive=False)
+        outcome(Evaluator, BRANCHY, config)
+        assert config.rates() == {}
+
+    def test_adaptive_declines_sub_dispatch_work(self):
+        """Work projected to finish faster than a dispatch costs stays
+        serial no matter how many cells the static floor would shard."""
+        config = DispatchConfig(min_cells=1, workers=4, adaptive=True)
+        config.observe("serial", 10_000_000, 0.1)  # 1e8 cells/s
+        assert config.wants_shards(100) is False
+        # same hundred cells shard under the static gate
+        static = DispatchConfig(min_cells=1, workers=4, adaptive=False)
+        assert static.wants_shards(100) is True
+        # big enough work projects past the floor and gets its dispatch
+        big = int(config.rates()["serial"] * ADAPTIVE_MIN_SECONDS * 10)
+        assert config.wants_shards(big) is True
+
+    def test_adaptive_backend_prefers_measured_fastest(self):
+        config = DispatchConfig(min_cells=1, workers=4,
+                                backend="thread", adaptive=True)
+        config.observe("thread", 1000, 1.0)
+        config.observe("process", 1000, 0.001)
+        assert config.shard_backend() == "process"
+        config.adaptive = False
+        assert config.shard_backend() == "thread"  # static: as configured
+
+    def test_adaptive_margin_gives_hysteresis(self):
+        config = DispatchConfig(min_cells=1, workers=4,
+                                backend="thread", adaptive=True)
+        config.observe("serial", 1_000_000, 1.0)
+        config.observe("thread", 1_010_000, 1.0)  # 1% faster: not enough
+        assert config.wants_shards(1_000_000) is False
+        config.observe("thread", 10_000_000, 1.0)  # now decisively faster
+        assert config.wants_shards(1_000_000) is True
+
+    def test_adaptive_dispatch_end_to_end(self):
+        """Adaptive mode still bootstraps off ``min_cells`` and records
+        the backend's measured rate on a successful dispatch."""
+        config = DispatchConfig(min_cells=1, workers=3,
+                                backend="thread", adaptive=True)
+        reference = outcome(Evaluator, BRANCHY, serial_config())
+        sharded = outcome(Evaluator, BRANCHY, config)
+        assert sharded[0] == "value"
+        assert_identical(sharded[1], reference[1])
+        assert config.rates().get("thread", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# the session and REPL surface
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveSurface:
+
+    def test_session_kwarg(self):
+        assert Session(adaptive=True).env.parallel.adaptive is True
+        assert Session(adaptive=False).env.parallel.adaptive is False
+        assert Session().env.parallel.adaptive is False
+
+    @pytest.mark.parametrize("bad", ["yes", 1, 0, None.__class__])
+    def test_session_kwarg_rejects_non_bools(self, bad):
+        with pytest.raises(SessionError):
+            Session(adaptive=bad)
+
+    def test_repl_adaptive_toggle(self):
+        session = Session()
+        shown = parallel_command(session, "adaptive on")
+        assert session.env.parallel.adaptive is True
+        assert "adaptive=on" in shown
+        shown = parallel_command(session, "adaptive off")
+        assert session.env.parallel.adaptive is False
+        assert "adaptive=off" in shown
+        assert "usage" in parallel_command(session, "adaptive maybe")
+        assert session.env.parallel.adaptive is False
+
+    def test_repl_status_shows_learned_rates(self):
+        session = Session()
+        session.env.parallel.adaptive = True
+        session.env.parallel.observe("serial", 1000, 0.5)
+        shown = parallel_command(session, "")
+        assert "rates[cells/s]" in shown and "serial=2000" in shown
+
+    def test_repl_rejects_negative_min_cells_untouched(self):
+        """A rejected field leaves *every* field untouched — including
+        the ones earlier in the command that validated fine."""
+        session = Session()
+        before_workers = session.env.parallel.workers
+        before_min = session.env.parallel.min_cells
+        shown = parallel_command(session, "2 thread -5")
+        assert "min_cells must be a non-negative int" in shown
+        assert session.env.parallel.workers == before_workers
+        assert session.env.parallel.min_cells == before_min

@@ -344,6 +344,16 @@ class Compiler:
                 total *= value
             if total >= config.min_cells and kernel is not None \
                     and kernels.available():
+                # past the fused floor the kernel runs once per core
+                # over flat cell ranges; the pool declining falls back
+                # to the serial kernel below
+                if parallel.available(config) \
+                        and config.wants_kernel_shards(total):
+                    result = parallel.tabulate_kernel_compiled(
+                        compiler, expr, tab_scope, env, extents, total
+                    )
+                    if result is not None:
+                        return result
                 result = kernels.execute(
                     kernel, extents, [code(env) for code in input_codes]
                 )
@@ -352,7 +362,7 @@ class Compiler:
                         probe.on_cells_vectorized(result.size)
                     return result
             # vectorization wins when the body is kernel-shaped;
-            # otherwise shard the domain by outermost index
+            # otherwise shard the domain by flat cell ranges
             if parallel.available(config) and config.wants_shards(total):
                 result = parallel.tabulate_compiled(
                     compiler, expr, tab_scope, body, env, extents, total

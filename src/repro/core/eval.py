@@ -322,10 +322,8 @@ class Evaluator:
             total *= value
         config = self.parallel
         if total >= config.min_cells and kernels.available():
-            result = self._tabulate_vectorized(expr, env, bounds)
+            result = self._tabulate_vectorized(expr, env, bounds, total)
             if result is not None:
-                if self.probe is not None:
-                    self.probe.on_cells_vectorized(result.size)
                 return result
         # vectorization first: a kernel-shaped body beats sharding, and
         # inside shards workers still take the numpy path
@@ -349,13 +347,16 @@ class Evaluator:
         return Array(bounds, values)
 
     def _tabulate_vectorized(self, expr: ast.Tabulate, env,
-                             bounds) -> Optional[Array]:
+                             bounds, total) -> Optional[Array]:
         """Try the numpy fast path; ``None`` means run the scalar loop.
 
         Recognition is memoized per node; input resolution failures
         (e.g. an unbound variable, which the scalar loop would also hit
         on its first cell) simply decline so the scalar loop raises the
-        canonical error itself.
+        canonical error itself.  Domains past the fused floor
+        (``kernel_min_cells``) try the sharded kernel first — the numpy
+        body runs once per core over a flat cell range — falling back to
+        the serial kernel when the pool declines.
         """
         kernel = self._kernel_cache.get(expr, kernels.recognize)
         if kernel is None:
@@ -368,7 +369,16 @@ class Evaluator:
             ]
         except EvalError:
             return None
-        return kernels.execute(kernel, bounds, inputs)
+        config = self.parallel
+        if parallel.available(config) and config.wants_kernel_shards(total):
+            result = parallel.tabulate_kernel_interp(self, expr, env,
+                                                     bounds, total)
+            if result is not None:
+                return result
+        result = kernels.execute(kernel, bounds, inputs)
+        if result is not None and self.probe is not None:
+            self.probe.on_cells_vectorized(result.size)
+        return result
 
     def _subscript(self, expr: ast.Subscript, env):
         array = self._eval(expr.array, env)

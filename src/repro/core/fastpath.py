@@ -30,6 +30,14 @@ from typing import Any, Callable
 #: cost more than they save on tiny inputs
 DEFAULT_MIN_CELLS = 64
 
+#: floor for the *fused* shard-kernel path (numpy kernels running inside
+#: process shards, docs/PARALLEL.md): the serial kernel already clears
+#: hundreds of millions of cells per second, so splitting it across a
+#: process pool only wins once the domain is large enough that per-core
+#: compute dominates pool hand-off and slab stitching.  Deliberately
+#: much higher than :data:`DEFAULT_MIN_CELLS`.
+DEFAULT_KERNEL_MIN_CELLS = 1 << 17
+
 #: worker-pool strategies understood by :mod:`repro.core.parallel`
 PARALLEL_BACKENDS = ("thread", "process")
 
@@ -77,13 +85,15 @@ class DispatchConfig:
     keyword surface before mutating the config.
     """
 
-    __slots__ = ("min_cells", "workers", "backend", "setops",
-                 "adaptive", "_rates")
+    __slots__ = ("min_cells", "kernel_min_cells", "workers", "backend",
+                 "setops", "adaptive", "_rates")
 
     def __init__(self, min_cells: int = DEFAULT_MIN_CELLS,
                  workers: int = 0, backend: str = "thread",
-                 setops: bool = True, adaptive: bool = False):
+                 setops: bool = True, adaptive: bool = False,
+                 kernel_min_cells: int = DEFAULT_KERNEL_MIN_CELLS):
         self.min_cells = min_cells
+        self.kernel_min_cells = kernel_min_cells
         self.workers = workers
         self.backend = backend
         self.setops = setops
@@ -159,16 +169,30 @@ class DispatchConfig:
             return True
         return shard_rate > serial_rate * ADAPTIVE_MARGIN
 
+    def wants_kernel_shards(self, cells: int) -> bool:
+        """Should a *kernel-shaped* construct of ``cells`` cells be
+        sharded instead of executed by the serial numpy kernel?
+
+        The serial kernel is itself a fast path, so the fused
+        shard-kernel dispatch competes with it, not with the scalar
+        loop — hence its own (much higher) floor.  A static gate on
+        purpose: the adaptive rates measure scalar-loop throughput and
+        would wildly mispredict kernel throughput.
+        """
+        return cells >= self.kernel_min_cells
+
     @classmethod
     def from_env(cls) -> "DispatchConfig":
         """Defaults overridable through the process environment.
 
         ``REPRO_PARALLEL_WORKERS`` (default 0 → serial),
         ``REPRO_PARALLEL_BACKEND`` (default ``thread``),
-        ``REPRO_MIN_CELLS`` (default :data:`DEFAULT_MIN_CELLS`), and
-        ``REPRO_ADAPTIVE=1`` (measured-rate dispatch selection).  The
-        ``REPRO_NO_PARALLEL`` kill switch is honoured separately by
-        :mod:`repro.core.parallel` so it wins over any workers setting.
+        ``REPRO_MIN_CELLS`` (default :data:`DEFAULT_MIN_CELLS`),
+        ``REPRO_KERNEL_MIN_CELLS`` (default
+        :data:`DEFAULT_KERNEL_MIN_CELLS`), and ``REPRO_ADAPTIVE=1``
+        (measured-rate dispatch selection).  The ``REPRO_NO_PARALLEL``
+        kill switch is honoured separately by :mod:`repro.core.parallel`
+        so it wins over any workers setting.
         """
 
         def _int(name: str, default: int) -> int:
@@ -186,10 +210,13 @@ class DispatchConfig:
             workers=_int("REPRO_PARALLEL_WORKERS", 0),
             backend=backend,
             adaptive=os.environ.get("REPRO_ADAPTIVE", "") == "1",
+            kernel_min_cells=_int("REPRO_KERNEL_MIN_CELLS",
+                                  DEFAULT_KERNEL_MIN_CELLS),
         )
 
     def __repr__(self) -> str:
         return (f"DispatchConfig(min_cells={self.min_cells}, "
+                f"kernel_min_cells={self.kernel_min_cells}, "
                 f"workers={self.workers}, backend={self.backend!r}, "
                 f"setops={self.setops}, adaptive={self.adaptive})")
 
@@ -240,6 +267,7 @@ class NodeCache:
         return payload
 
 
-__all__ = ["DEFAULT_MIN_CELLS", "PARALLEL_BACKENDS",
+__all__ = ["DEFAULT_MIN_CELLS", "DEFAULT_KERNEL_MIN_CELLS",
+           "PARALLEL_BACKENDS",
            "ADAPTIVE_MIN_SECONDS", "ADAPTIVE_MARGIN", "DispatchConfig",
            "DEFAULT_CONFIG", "NODE_CACHE_CAPACITY", "NodeCache"]

@@ -4,12 +4,27 @@ The paper's array constructs are *functions over rectangular index
 domains*: a ``Tabulate`` applies its defining function independently at
 every index, and ``Σ`` folds a body over ``canonical_elements`` of its
 source.  Both are embarrassingly parallel — this module partitions a
-tabulation domain by outermost-index prefix (contiguous runs of the
-first axis, which ``iter_indices``'s row-major order makes contiguous
-runs of cells) and a Σ source into contiguous slices of its canonical
-element list, executes the shards on a worker pool, and merges results
-back **in index order** so the output is bit-identical to the serial
-loop.
+tabulation domain into contiguous ranges of *flattened row-major cells*
+(the block tiling of "An Array Algebra": the index along axis ``a`` of
+flat position ``p`` is ``(p // stride_a) % extent_a``, so skewed shapes
+like ``(2, 500000)`` still yield ``workers`` balanced shards) and a Σ
+source into contiguous slices of its canonical element list, executes
+the shards on a worker pool, and merges results back **in index order**
+so the output is bit-identical to the serial loop.
+
+Fused shard-kernel execution (docs/PARALLEL.md, docs/VECTOR_BACKEND.md):
+when the parent recognizes a tabulation body as a numpy kernel
+(:func:`repro.core.kernels.recognize`), process shards skip the scalar
+interpreter entirely — each worker runs
+:func:`~repro.core.kernels.execute_range` over its cell range against
+the *mapped* operand segments and writes the result ndarray straight
+into its slice of the parent's output slab (outcome ``"vec"``).  Decline
+proofs are evaluated against full-domain index bounds so they are
+identical in every shard; the only shard-local declines imply a ⊥ cell,
+whose scalar fallback raises and reruns the construct serially.
+Unprobed Σ over an int element slab gets the analogous treatment:
+workers fold their slice vectorized under the ``INT_GUARD`` overflow
+proof and return exact partial sums (outcome ``"vsum"``).
 
 Discipline (same proof-or-fallback contract as :mod:`repro.core.kernels`):
 
@@ -58,7 +73,12 @@ large inputs they exist for.  Dense-representable data now travels as
   dense block of at least ``SHM_MIN_BYTES`` is exported *once* into a
   segment and referenced by name from every shard (instead of being
   re-pickled per shard), and a Σ's scalar element list is probed into
-  one segment each worker slices by ``(lo, hi)``;
+  one segment each worker slices by ``(lo, hi)``.  Workers adopt the
+  mapped operands as **read-only views** — no defensive copy-out; the
+  segments stay mapped for the evaluation's lifetime (and past the
+  return, since boxed results may alias them — see
+  ``_WORKER_SEGMENTS``), and each avoided copy is counted into the
+  worker probe's ``shm_copies_avoided``;
 * **results** — the parent pre-creates one output slab (8 bytes per
   cell), each worker probes its boxed shard values dense
   (:func:`~repro.objects.dense.probe_block`) and writes them directly
@@ -474,33 +494,56 @@ def _merge_probes(probe: Any, worker_probes: List[Any],
 # -- interpreter (repro.core.eval) entry points -----------------------------
 
 
-def _interp_rows(evaluator, expr: ast.Tabulate, env, extents: Sequence[int],
-                 lo: int, hi: int, cancel: Optional[threading.Event]) -> list:
-    """Evaluate rows ``lo..hi`` of the first axis, in row-major order —
-    exactly the cells the serial loop would produce at those indices."""
+def _unflatten(pos: int, extents: Sequence[int]) -> List[int]:
+    """The row-major index vector of flat cell ``pos`` — the inverse of
+    "An Array Algebra" block addressing: axis ``a`` of ``pos`` is
+    ``(pos // stride_a) % extent_a``."""
+    index = [0] * len(extents)
+    for axis in range(len(extents) - 1, -1, -1):
+        extent = extents[axis]
+        index[axis] = pos % extent
+        pos //= extent
+    return index
+
+
+def _interp_cells(evaluator, expr: ast.Tabulate, env, extents: Sequence[int],
+                  lo: int, hi: int, cancel: Optional[threading.Event]) -> list:
+    """Evaluate flat row-major cells ``lo..hi`` of the tabulation domain —
+    exactly the cells the serial loop would produce at those positions.
+
+    An odometer walks the index vector; the per-axis ``Env`` chain is
+    rebuilt only from the deepest axis that changed, so the amortized
+    extends per cell match the serial loop's nesting."""
     from repro.core.eval import Env
 
     values: list = []
     eval_ = evaluator._eval
     body = expr.body
     variables = expr.vars
-    if len(extents) == 1:
-        for i in range(lo, hi):
-            if cancel is not None and cancel.is_set():
-                raise _Cancelled()
-            values.append(eval_(body, Env.extend(env, variables[0], i)))
-        return values
-    inner_extents = extents[1:]
-    inner_vars = variables[1:]
-    for i in range(lo, hi):
+    rank = len(extents)
+    index = _unflatten(lo, extents)
+    chain: list = [None] * rank
+    parent = env
+    for axis in range(rank):
+        parent = Env.extend(parent, variables[axis], index[axis])
+        chain[axis] = parent
+    for _ in range(lo, hi):
         if cancel is not None and cancel.is_set():
             raise _Cancelled()
-        outer = Env.extend(env, variables[0], i)
-        for index in iter_indices(inner_extents):
-            inner = outer
-            for var, position in zip(inner_vars, index):
-                inner = Env.extend(inner, var, position)
-            values.append(eval_(body, inner))
+        values.append(eval_(body, chain[rank - 1]))
+        axis = rank - 1
+        while axis >= 0:
+            index[axis] += 1
+            if index[axis] < extents[axis]:
+                break
+            index[axis] = 0
+            axis -= 1
+        if axis < 0:
+            break  # walked off the domain: hi was the total
+        parent = env if axis == 0 else chain[axis - 1]
+        for a in range(axis, rank):
+            parent = Env.extend(parent, variables[a], index[a])
+            chain[a] = parent
     return values
 
 
@@ -580,7 +623,7 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
                     extents: Sequence[int], total: int) -> Optional[Array]:
     """Parallel interpreter tabulation, or ``None`` for the scalar loop."""
     config = evaluator.parallel
-    shards = split(extents[0], config.workers)
+    shards = split(total, config.workers)
     if len(shards) < 2:
         return None
     probe = evaluator.probe
@@ -595,8 +638,8 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
         return result
 
     def make_task(worker, lo, hi, cancel):
-        return lambda: _interp_rows(worker, expr, env, extents, lo, hi,
-                                    cancel)
+        return lambda: _interp_cells(worker, expr, env, extents, lo, hi,
+                                     cancel)
 
     outcome = _dispatch_threads(evaluator, probe, config, make_task, shards)
     if outcome is None:
@@ -609,6 +652,28 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
     if config.adaptive:
         config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
+
+
+def tabulate_kernel_interp(evaluator, expr: ast.Tabulate, env,
+                           extents: Sequence[int],
+                           total: int) -> Optional[Array]:
+    """Fused shard-kernel tabulation (interpreter), or ``None``.
+
+    Only the process backend fuses: each forked worker runs
+    :func:`repro.core.kernels.execute_range` on its own core against
+    mapped operand segments.  A thread pool would gain nothing over the
+    serial kernel (one numpy call already saturates the process), so
+    other backends decline and the caller runs :func:`kernels.execute`
+    serially.
+    """
+    config = evaluator.parallel
+    if config.shard_backend() != "process":
+        return None
+    shards = split(total, config.workers)
+    if len(shards) < 2:
+        return None
+    return _tabulate_process(expr, _env_bindings_for(expr, env), extents,
+                             shards, evaluator.probe, config, kernel=True)
 
 
 def sum_interp(evaluator, expr: ast.Sum, env,
@@ -667,7 +732,7 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
                       total: int) -> Optional[Array]:
     """Parallel compiled tabulation, or ``None`` for the scalar loop."""
     config = compiler.parallel
-    shards = split(extents[0], config.workers)
+    shards = split(total, config.workers)
     if len(shards) < 2:
         return None
     probe = compiler.probe
@@ -692,8 +757,7 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
     if pool is None:
         return None
     cancel = threading.Event()
-    rank = expr.rank
-    inner_extents = list(extents[1:])
+    extents_list = list(extents)
 
     def make_task(position: int, lo: int, hi: int):
         def task():
@@ -707,17 +771,21 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
                                   parallel=_worker_config(config))
                 body = worker.compile(expr.body, scope + expr.vars)
             values: list = []
-            if rank == 1:
-                for i in range(lo, hi):
-                    if cancel.is_set():
-                        raise _Cancelled()
-                    values.append(body(env + [i]))
-            else:
-                for i in range(lo, hi):
-                    if cancel.is_set():
-                        raise _Cancelled()
-                    for index in iter_indices(inner_extents):
-                        values.append(body(env + [i, *index]))
+            index = _unflatten(lo, extents_list)
+            rank = len(extents_list)
+            for _ in range(lo, hi):
+                if cancel.is_set():
+                    raise _Cancelled()
+                values.append(body(env + index))
+                axis = rank - 1
+                while axis >= 0:
+                    index[axis] += 1
+                    if index[axis] < extents_list[axis]:
+                        break
+                    index[axis] = 0
+                    axis -= 1
+                if axis < 0:
+                    break
             return values
 
         return task
@@ -736,6 +804,31 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
     if config.adaptive:
         config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
+
+
+def tabulate_kernel_compiled(compiler, expr: ast.Tabulate,
+                             scope: Tuple[str, ...], env: List[Any],
+                             extents: Sequence[int],
+                             total: int) -> Optional[Array]:
+    """Fused shard-kernel tabulation (compiled engine), or ``None``.
+
+    Unlike the scalar process path, a *probed* compiled dispatch is
+    allowed here — but only as all-or-nothing (``vec_only``): when every
+    shard vectorizes, worker probes carry no interpreter counters (the
+    kernel evaluates zero AST nodes), so merging them cannot pollute the
+    compiled engine's counts; if any shard falls back to the scalar
+    interpreter the whole dispatch declines instead.
+    """
+    config = compiler.parallel
+    if config.shard_backend() != "process":
+        return None
+    shards = split(total, config.workers)
+    if len(shards) < 2:
+        return None
+    probe = compiler.probe
+    bindings = _scope_bindings(expr, scope, env)
+    return _tabulate_process(expr, bindings, extents, shards, probe, config,
+                             kernel=True, vec_only=probe is not None)
 
 
 def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
@@ -880,15 +973,24 @@ def _export_bindings(bindings, segments: list):
 
 def _payload(kind: str, expr, plain, shm_binds, config: DispatchConfig,
              probed: bool, extents=None, lo: int = 0, hi: int = 0,
-             elements=None, elements_shm=None, out=None) -> dict:
+             elements=None, elements_shm=None, out=None,
+             kernel: bool = False) -> dict:
     """One shard's wire payload (pickled small; bulk data is in shm).
 
-    ``out`` is ``(segment_name, cell_lo, cell_hi)`` naming the region
-    of the parent's output slab this shard owns, or ``None`` for the
-    boxed result format.  ``dense_on`` carries the parent's store
-    switch so a warm worker forked under a different configuration
-    still represents (and pickles) results the way the parent expects.
+    ``lo``/``hi`` bound the shard's flat row-major *cell* range for
+    tabulations, its element range for Σ.  ``out`` is
+    ``(segment_name, cell_lo, cell_hi)`` naming the region of the
+    parent's output slab this shard owns, or ``None`` for the boxed
+    result format.  ``kernel`` tells the worker the parent recognized
+    the body as a numpy kernel — the worker re-derives the spec
+    (a cheap AST scan) and attempts vectorized execution before the
+    scalar fallback.  ``dense_on``/``vectorize_on`` carry the parent's
+    kill-switch state so a warm worker forked under a different
+    configuration still takes exactly the paths the parent's own serial
+    run would.
     """
+    from repro.core import kernels
+
     return {
         "kind": kind,
         "expr": expr,
@@ -900,10 +1002,12 @@ def _payload(kind: str, expr, plain, shm_binds, config: DispatchConfig,
         "elements": elements,
         "elements_shm": elements_shm,
         "out": out,
+        "kernel": kernel,
         "probed": probed,
         "min_cells": config.min_cells,
         "setops": config.setops,
         "dense_on": dense.STORE_ENABLED,
+        "vectorize_on": kernels.ENABLED,
     }
 
 
@@ -936,53 +1040,179 @@ def _slab_write(out, values) -> Optional[tuple]:
     return (block.tag, block.lo, block.hi)
 
 
+#: segments this worker process mapped for the task being returned.
+#: Boxed shard results may alias the mapped operand buffers (a body can
+#: evaluate to the whole operand array, whose backing block is the
+#: read-only view) and the pool pickles the return value *after*
+#: ``_process_worker`` exits — so segments stay open across the return
+#: and are drained at the next task's entry, once the previous result
+#: is guaranteed serialized.  The parent's unlink is unaffected (names
+#: retire immediately); a warm worker merely keeps one task's mappings
+#: until its next task or exit.
+_WORKER_SEGMENTS: List[Any] = []
+
+
+def _drain_worker_segments() -> None:
+    """Close the previous task's mappings (see ``_WORKER_SEGMENTS``)."""
+    while _WORKER_SEGMENTS:
+        seg = _WORKER_SEGMENTS.pop()
+        try:
+            seg.close()
+        except Exception:
+            # an exported view not yet collected: the mapping lives
+            # until process exit, which the OS cleans up
+            pass
+
+
+def _kernel_inputs(kernel, env):
+    """Resolve kernel input leaves from the worker's rebuilt env, or
+    ``None`` (an unbound name — the scalar fallback raises it)."""
+    from repro.core.eval import Env
+
+    try:
+        return [
+            Env.lookup(env, leaf.name) if isinstance(leaf, ast.Var)
+            else leaf.value
+            for leaf in kernel.inputs
+        ]
+    except Exception:
+        return None
+
+
+def _vec_shard(payload: dict, env) -> Optional[str]:
+    """Run the recognized kernel over this shard's cell range (worker).
+
+    Writes the result straight into the shard's slice of the parent's
+    output slab and returns the slab tag, or ``None`` to fall back to
+    the scalar interpreter.  Every ``None`` here is either shard-global
+    (recognition, dtype, interval proofs — identical in all shards, see
+    :func:`repro.core.kernels.execute_range`) or implies a ⊥ cell in
+    this shard (so the fallback raises and the parent reruns serially).
+    """
+    from repro.core import kernels
+
+    if not kernels.available():
+        return None
+    kernel = kernels.recognize(payload["expr"])
+    if kernel is None:
+        return None
+    inputs = _kernel_inputs(kernel, env)
+    if inputs is None:
+        return None
+    lo, hi = payload["lo"], payload["hi"]
+    data = kernels.execute_range(kernel, payload["extents"], inputs, lo, hi)
+    if data is None:
+        return None
+    seg_name, cell_lo, cell_hi = payload["out"]
+    if data.size != cell_hi - cell_lo:
+        return None
+    tag = dense.TAG_REAL if data.dtype.kind == "f" else dense.TAG_INT
+    seg = _shm_attach(seg_name)
+    try:
+        view = _np.frombuffer(seg.buf, dtype=_slab_dtype(tag))
+        try:
+            view[cell_lo:cell_hi] = data
+        finally:
+            del view
+    finally:
+        seg.close()
+    return tag
+
+
+def _vec_sum_slice(payload: dict, env, view, tag: str, count: int,
+                   elo, ehi) -> Optional[tuple]:
+    """Vectorized partial Σ over this shard's element slice (worker).
+
+    ``(partial,)`` — an exact int — or ``None`` for the boxed scalar
+    fold.  Gated to int element slabs; the global bounds ``elo``/``ehi``
+    and total ``count`` make the overflow guard (and every other
+    proof-based decline) identical across shards
+    (:func:`repro.core.kernels.execute_elements`).
+    """
+    from repro.core import kernels
+
+    if not kernels.available() or tag != dense.TAG_INT:
+        return None
+    kernel = kernels.recognize_sum(payload["expr"])
+    if kernel is None:
+        return None
+    inputs = _kernel_inputs(kernel, env)
+    if inputs is None:
+        return None
+    return kernels.execute_elements(
+        kernel, view[payload["lo"]:payload["hi"]], (elo, ehi), count, inputs)
+
+
 def _process_worker(payload_bytes: bytes):
     """Runs in the child: evaluate one shard, never raise through pickle.
 
-    Returns ``("ok", values, probe)`` (boxed result), ``("shm", tag,
-    lo, hi, probe)`` (values written into the parent's output slab), or
+    Returns ``("vec", tag, cell_lo, cell_hi, probe)`` (the kernel ran
+    over the shard's cell range, writing the output slab directly),
+    ``("vsum", partial, probe)`` (vectorized exact partial Σ),
+    ``("shm", tag, lo, hi, probe)`` (scalar values written into the
+    output slab), ``("ok", values, probe)`` (boxed result), or
     ``("err",)`` — errors are reported as data so exotic exception
     types never have to survive a pickle round-trip; the parent's
     serial rerun reproduces them.
+
+    Mapped operand segments are adopted as **read-only views** (no
+    defensive copy) and held open past the return — see
+    ``_WORKER_SEGMENTS``.
     """
+    from repro.core import kernels
     from repro.core.eval import Env, Evaluator
 
-    attached = []
+    _drain_worker_segments()
     try:
         payload = pickle.loads(payload_bytes)
-        # the parent's dense-store switch wins over whatever state this
+        # the parent's kill-switch state wins over whatever state this
         # (possibly long-lived, possibly stale) worker forked with
         dense.STORE_ENABLED = payload["dense_on"]
-        env = None
-        for name, value in payload["bindings"]:
-            env = Env.extend(env, name, value)
-        for name, seg_name, tag, dims in payload["shm_bindings"]:
-            seg = _shm_attach(seg_name)
-            attached.append(seg)
-            size = 1
-            for dim in dims:
-                size *= dim
-            data = _np.frombuffer(seg.buf, dtype=_tag_dtype(tag),
-                                  count=size).reshape(dims).copy()
-            env = Env.extend(env, name, Array(dims, data))
+        kernels.ENABLED = payload["vectorize_on"]
         probe = None
         if payload["probed"]:
             from repro.obs.metrics import EvalMetrics
 
             probe = EvalMetrics()
+        env = None
+        for name, value in payload["bindings"]:
+            env = Env.extend(env, name, value)
+        for name, seg_name, tag, dims in payload["shm_bindings"]:
+            seg = _shm_attach(seg_name)
+            _WORKER_SEGMENTS.append(seg)
+            size = 1
+            for dim in dims:
+                size *= dim
+            data = _np.frombuffer(seg.buf, dtype=_tag_dtype(tag),
+                                  count=size).reshape(dims)
+            data.flags.writeable = False
+            env = Env.extend(env, name, Array(dims, data))
+        if probe is not None and payload["shm_bindings"]:
+            probe.on_shm_copies_avoided(len(payload["shm_bindings"]))
         worker_cfg = DispatchConfig(min_cells=payload["min_cells"],
                                     workers=0, setops=payload["setops"])
         worker = Evaluator({}, probe=probe, parallel=worker_cfg)
         if payload["kind"] == "tabulate":
-            values = _interp_rows(worker, payload["expr"], env,
-                                  payload["extents"], payload["lo"],
-                                  payload["hi"], None)
+            if payload["kernel"] and payload["out"] is not None:
+                tag = _vec_shard(payload, env)
+                if tag is not None:
+                    return ("vec", tag, payload["out"][1],
+                            payload["out"][2], probe)
+            values = _interp_cells(worker, payload["expr"], env,
+                                   payload["extents"], payload["lo"],
+                                   payload["hi"], None)
         elif payload["elements_shm"] is not None:
-            seg_name, tag, count = payload["elements_shm"]
+            seg_name, tag, count, elo, ehi = payload["elements_shm"]
             seg = _shm_attach(seg_name)
-            attached.append(seg)
+            _WORKER_SEGMENTS.append(seg)
             view = _np.frombuffer(seg.buf, dtype=_tag_dtype(tag),
                                   count=count)
+            if payload["kernel"]:
+                partial = _vec_sum_slice(payload, env, view, tag, count,
+                                         elo, ehi)
+                if partial is not None:
+                    del view
+                    return ("vsum", partial[0], probe)
             try:
                 elements = view[payload["lo"]:payload["hi"]].tolist()
             finally:
@@ -1001,12 +1231,6 @@ def _process_worker(payload_bytes: bytes):
         return ("ok", values, probe)
     except BaseException:
         return ("err",)
-    finally:
-        for seg in attached:
-            try:
-                seg.close()
-            except Exception:
-                pass
 
 
 def _run_process_shards(payloads: List[dict],
@@ -1030,7 +1254,8 @@ def _run_process_shards(payloads: List[dict],
     outcomes = _collect(futures, cancel, "process", config.workers)
     if outcomes is None:
         return None
-    if any(outcome[0] not in ("ok", "shm") for outcome in outcomes):
+    if any(outcome[0] not in ("ok", "shm", "vec", "vsum")
+           for outcome in outcomes):
         return None
     return outcomes
 
@@ -1053,14 +1278,17 @@ def _probed_for_process(probe) -> Optional[bool]:
 def _stitch_tabulate(outcomes, out_seg, cell_ranges, extents, total):
     """Assemble shard outcomes into ``(Array, zero_copy_count)``.
 
-    When every shard wrote the slab with one agreed tag, the whole slab
-    becomes the result's dense backing in a single copy (the segment is
-    about to be unlinked, so the buffer cannot be viewed in place).
-    Mixed outcomes box slab regions back in shard order and interleave
-    them with the boxed shards.  ``None`` only on protocol violations,
+    ``"vec"`` (kernel-computed) and ``"shm"`` (scalar-computed) shards
+    both landed in the output slab and stitch identically.  When every
+    shard wrote the slab with one agreed tag, the whole slab becomes
+    the result's dense backing in a single copy (the segment is about
+    to be unlinked, so the buffer cannot be viewed in place).  Mixed
+    outcomes box slab regions back in shard order and interleave them
+    with the boxed shards.  ``None`` only on protocol violations,
     which fall back to serial.
     """
-    zero_copy = sum(1 for outcome in outcomes if outcome[0] == "shm")
+    zero_copy = sum(1 for outcome in outcomes
+                    if outcome[0] in ("shm", "vec"))
     if zero_copy and out_seg is None:
         return None
     if zero_copy == len(outcomes):
@@ -1074,7 +1302,7 @@ def _stitch_tabulate(outcomes, out_seg, cell_ranges, extents, total):
             return Array(extents, data.reshape(tuple(extents))), zero_copy
     values: list = []
     for outcome, (cell_lo, cell_hi) in zip(outcomes, cell_ranges):
-        if outcome[0] == "shm":
+        if outcome[0] in ("shm", "vec"):
             view = _np.frombuffer(out_seg.buf, dtype=_slab_dtype(outcome[1]),
                                   count=total)
             try:
@@ -1098,6 +1326,16 @@ def _fold_sum(outcomes, out_seg, shards, count) -> Optional[tuple]:
     always fold boxed left-to-right in shard order, preserving the
     serial fold's non-associative rounding bit-for-bit.
     """
+    vsum_count = sum(1 for outcome in outcomes if outcome[0] == "vsum")
+    if vsum_count:
+        if vsum_count != len(outcomes):
+            # decline decisions are shard-global (see execute_elements);
+            # a mix means a protocol anomaly — rerun serially
+            return None
+        total = 0
+        for outcome in outcomes:  # exact ints, associative, guarded
+            total += outcome[1]
+        return (total,)
     shm_count = sum(1 for outcome in outcomes if outcome[0] == "shm")
     if shm_count and out_seg is None:
         return None
@@ -1133,8 +1371,21 @@ def _fold_sum(outcomes, out_seg, shards, count) -> Optional[tuple]:
 
 
 def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
-                      probe, config: DispatchConfig) -> Optional[Array]:
-    """Process-backend tabulation over the shared-memory transport."""
+                      probe, config: DispatchConfig,
+                      kernel: bool = False,
+                      vec_only: bool = False) -> Optional[Array]:
+    """Process-backend tabulation over the shared-memory transport.
+
+    ``shards`` are flat row-major cell ranges (see :func:`split` over
+    the domain's total).  With ``kernel=True`` the parent recognized
+    the body as a numpy kernel and each worker attempts
+    :func:`repro.core.kernels.execute_range` over its range before the
+    scalar fallback; shard-global decline proofs guarantee the
+    outcomes are all-vectorized or all-scalar, and a mix is treated as
+    a protocol anomaly (serial rerun).  ``vec_only=True`` (the probed
+    compiled engine) additionally declines the all-scalar case, whose
+    worker counters would be the interpreter's, not the compiler's.
+    """
     if bindings is None or _contains_prim(expr.body):
         return None
     probed = _probed_for_process(probe)
@@ -1143,24 +1394,34 @@ def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
     total = 1
     for extent in extents:
         total *= extent
-    row = total // extents[0] if extents[0] else 0
     segments: List[Any] = []
     try:
         plain, shm_binds = _export_bindings(bindings, segments)
         _prime_dense(value for _, value in plain)
         out_seg = _shm_create(total * 8, segments)
+        if kernel and out_seg is None:
+            # no slab to write into (shm transport off/unavailable):
+            # decline so the caller's *serial* kernel runs — scalar
+            # shards here would report scalar counters for a construct
+            # the serial run vectorizes
+            return None
         payloads = [
             _payload("tabulate", expr, plain, shm_binds, config, probed,
                      extents=list(extents), lo=lo, hi=hi,
-                     out=((out_seg.name, lo * row, hi * row)
-                          if out_seg is not None else None))
+                     out=((out_seg.name, lo, hi)
+                          if out_seg is not None else None),
+                     kernel=kernel and out_seg is not None)
             for lo, hi in shards
         ]
         outcomes = _run_process_shards(payloads, config)
         if outcomes is None:
             return None
-        cell_ranges = [(lo * row, hi * row) for lo, hi in shards]
-        stitched = _stitch_tabulate(outcomes, out_seg, cell_ranges,
+        vec_count = sum(1 for outcome in outcomes if outcome[0] == "vec")
+        if vec_count and vec_count != len(outcomes):
+            return None  # decline decisions are shard-global; see above
+        if vec_only and vec_count != len(outcomes):
+            return None
+        stitched = _stitch_tabulate(outcomes, out_seg, list(shards),
                                     extents, total)
         if stitched is None:
             return None
@@ -1169,7 +1430,13 @@ def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
                       [outcome[-1] for outcome in outcomes] if probed else [],
                       len(shards), total)
         if probe is not None:
-            probe.on_cells(total)
+            if vec_count:
+                # mirror the serial kernel's report, so serial-kernel
+                # and sharded-kernel runs agree on every shared counter
+                probe.on_cells_vectorized(total)
+                probe.on_shards_vectorized(vec_count, total)
+            else:
+                probe.on_cells(total)
             if segments:
                 probe.on_shm(len(segments),
                              sum(seg.size for seg in segments), zero_copy)
@@ -1182,7 +1449,18 @@ def _tabulate_process(expr: ast.Tabulate, bindings, extents, shards,
 
 def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
                  config: DispatchConfig) -> Optional[Tuple[Any]]:
-    """Process-backend Σ over the shared-memory transport."""
+    """Process-backend Σ over the shared-memory transport.
+
+    When the parent is unprobed, the element slab is an int block, and
+    the body is kernel-shaped, workers attempt the vectorized partial
+    fold (``"vsum"`` outcomes — see
+    :func:`repro.core.kernels.execute_elements`) before the boxed
+    scalar path.  Probed runs never ship the kernel flag: serial Σ is
+    always interpreted per element, so a vectorized shard would report
+    different counters than the serial run it must agree with.
+    """
+    from repro.core import kernels
+
     if bindings is None or _contains_prim(expr.body):
         return None
     probed = _probed_for_process(probe)
@@ -1200,7 +1478,13 @@ def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
                 seg = _shm_create(block.data.nbytes, segments)
                 if seg is not None:
                     _copy_into(seg, block.data)
-                    elements_ref = (seg.name, block.tag, count)
+                    elements_ref = (seg.name, block.tag, count,
+                                    block.lo, block.hi)
+        kernel_sum = (not probed and probe is None
+                      and elements_ref is not None
+                      and elements_ref[1] == dense.TAG_INT
+                      and kernels.available()
+                      and kernels.recognize_sum(expr) is not None)
         out_seg = _shm_create(count * 8, segments)
         payloads = []
         for lo, hi in shards:
@@ -1209,7 +1493,7 @@ def _sum_process(expr: ast.Sum, bindings, elements, shards, probe,
                 payloads.append(
                     _payload("sum", expr, plain, shm_binds, config, probed,
                              lo=lo, hi=hi, elements_shm=elements_ref,
-                             out=out))
+                             out=out, kernel=kernel_sum))
             else:
                 payloads.append(
                     _payload("sum", expr, plain, shm_binds, config, probed,
@@ -1241,4 +1525,5 @@ __all__ = [
     "available", "split", "in_worker", "shutdown_pools",
     "shm_live_segments", "shm_unlink_all",
     "tabulate_interp", "sum_interp", "tabulate_compiled", "sum_compiled",
+    "tabulate_kernel_interp", "tabulate_kernel_compiled",
 ]

@@ -95,6 +95,7 @@ def parallel_command(session: Session, args: str) -> str:
         "disabled (REPRO_NO_PARALLEL=1)"
     line = (f"parallel {state}: workers={config.workers} "
             f"backend={config.backend} min_cells={config.min_cells} "
+            f"kernel_min_cells={config.kernel_min_cells} "
             f"adaptive={'on' if config.adaptive else 'off'}")
     rates = config.rates()
     if rates:

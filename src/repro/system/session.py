@@ -97,6 +97,7 @@ class Session:
                  parallel_workers: Optional[int] = None,
                  parallel_backend: Optional[str] = None,
                  min_cells: Optional[int] = None,
+                 kernel_min_cells: Optional[int] = None,
                  setops: Optional[bool] = None,
                  adaptive: Optional[bool] = None):
         self.env = env if env is not None else TopEnv.standard(backend)
@@ -128,6 +129,15 @@ class Session:
                     f"got {min_cells!r}"
                 )
             self.env.parallel.min_cells = min_cells
+        if kernel_min_cells is not None:
+            if not isinstance(kernel_min_cells, int) \
+                    or isinstance(kernel_min_cells, bool) \
+                    or kernel_min_cells < 0:
+                raise SessionError(
+                    f"kernel_min_cells must be a non-negative int, "
+                    f"got {kernel_min_cells!r}"
+                )
+            self.env.parallel.kernel_min_cells = kernel_min_cells
         if setops is not None:
             if not isinstance(setops, bool):
                 raise SessionError(

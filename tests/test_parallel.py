@@ -33,7 +33,9 @@ ENGINES = [Evaluator, CompiledEvaluator]
 #: the keys only a sharded run reports; everything else must match
 #: a serial run exactly
 PARALLEL_ONLY = ("shards_executed", "cells_parallel",
-                 "shm_segments", "shm_bytes", "shards_zero_copy")
+                 "shm_segments", "shm_bytes", "shards_zero_copy",
+                 "shards_vectorized", "cells_vectorized_parallel",
+                 "shm_copies_avoided")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,111 @@
+"""The calibrated cost model: cost-gated joins and adaptive re-planning.
+
+Two shape claims, both recorded into ``BENCH_cost_model.json``:
+
+* **Wrong-build-side join.**  The static hash-join gate declines any
+  shape with fewer than two inner elements — reasonable when the inner
+  source is a stored set, badly wrong when it is an *expensive
+  expression* the naive loop then re-evaluates once per outer element.
+  An active cost model estimates the inner source and takes the hash
+  path (evaluate once, build, probe), beating the static gate by a
+  wide margin.
+
+* **Re-planned hot query.**  A query whose extents hide behind
+  unfolded arithmetic is under-estimated, so an active model's cost
+  floor skips the code-motion phase on first compile.  The first run's
+  observed time diverges from the prediction, the plan cache re-plans
+  through the full pipeline, and the second plan (with the invariant
+  inner loop hoisted) beats the first on every subsequent run.
+
+The estimate-vs-actual error factor surfacing in ``:profile`` is
+recorded alongside both experiments.
+"""
+
+from conftest import median_time
+
+from repro.system.session import Session
+
+REPEATS = 3
+
+# inner source: a singleton whose construction is expensive (a 400-wide
+# Σ) and *not* error-free (non-literal denominator), so loop-invariant
+# code motion may not hoist it out of the naive nested loop
+JOIN_QUERY = ("{(x, y) | \\x <- gen!200, "
+              "\\y <- {summap(fn \\i => (i * i) / (i + 1))!(gen!400)}, "
+              "x = y};")
+
+# the (n*7)/7 wrapper is not folded by the literal-only arithmetic
+# rules, so the estimator cannot see the 400-wide extents and the cost
+# floor skips motion on the first plan; the invariant inner Σ then
+# spins un-hoisted until the divergence-triggered re-plan hoists it
+REPLAN_SETUP = "val \\n = 400;"
+REPLAN_QUERY = ("summap(fn \\i => summap(fn \\y => y * y)"
+                "!(gen!((n * 7) / 7)))!(gen!((n * 7) / 7));")
+
+
+def test_join_gate_expensive_inner_source(bench_record):
+    """The cost-gated join beats the static gate on a 1-element inner
+    source whose *expression* is expensive to evaluate."""
+    static = Session(cost=False)
+    active = Session(cost="active")
+    expected = static.query_value(JOIN_QUERY)
+    assert active.query_value(JOIN_QUERY) == expected  # warm both caches
+
+    static_seconds = median_time(lambda: static.query_value(JOIN_QUERY),
+                                 repeats=REPEATS)
+    active_seconds = median_time(lambda: active.query_value(JOIN_QUERY),
+                                 repeats=REPEATS)
+
+    assert active.env.cost.counters["cost_join_decisions"] >= 1, \
+        "the active model must actually gate the join"
+    speedup = static_seconds / active_seconds
+    assert speedup > 3.0, \
+        f"cost-gated hash join must beat the static gate (got {speedup:.2f}x)"
+
+    bench_record(
+        seconds=active_seconds,
+        static_seconds=static_seconds,
+        active_seconds=active_seconds,
+        speedup=speedup,
+        cost=active.env.cost.snapshot(),
+    )
+
+
+def test_replan_hot_query(bench_record):
+    """Divergence re-plans the hot query; its second plan wins."""
+    replanning = Session(cost="active")
+    replanning.env.cost.floor_units = 50_000
+    stale = Session(cost="active")
+    stale.env.cost.floor_units = 50_000
+    stale.env.cost.replan_factor = 1e9          # never re-plans
+    for session in (replanning, stale):
+        session.run(REPLAN_SETUP)
+
+    # first run: compiled under the floor (motion skipped), observed
+    # cost diverges, the entry re-plans through the full pipeline
+    first = replanning.query_value(REPLAN_QUERY)
+    assert replanning.plan_cache.stats.replans == 1, \
+        "the divergent first run must trigger a re-plan"
+    error_factor = replanning.env.cost.last_error
+    assert stale.query_value(REPLAN_QUERY) == first
+    assert stale.plan_cache.stats.replans == 0
+
+    # hot path: the re-planned (hoisted) second plan vs the stale
+    # floor-skipped first plan, both on the cache-hit path
+    replanned_seconds = median_time(
+        lambda: replanning.query_value(REPLAN_QUERY), repeats=REPEATS)
+    stale_seconds = median_time(
+        lambda: stale.query_value(REPLAN_QUERY), repeats=REPEATS)
+
+    speedup = stale_seconds / replanned_seconds
+    assert speedup > 1.5, \
+        f"the re-planned hot query must beat its first plan ({speedup:.2f}x)"
+
+    bench_record(
+        seconds=replanned_seconds,
+        stale_seconds=stale_seconds,
+        replanned_seconds=replanned_seconds,
+        speedup=speedup,
+        first_plan_error_factor=error_factor,
+        cost=replanning.env.cost.snapshot(),
+    )

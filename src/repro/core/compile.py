@@ -300,7 +300,8 @@ class Compiler:
                 )
                 if sharded is not None:
                     return sharded[0]
-            timed = config.adaptive and len(elements) >= config.min_cells
+            timed = (config.adaptive or config.cost is not None) \
+                and len(elements) >= config.min_cells
             started = time.perf_counter() if timed else 0.0
             total: Any = 0
             for element in elements:
@@ -354,10 +355,16 @@ class Compiler:
                     )
                     if result is not None:
                         return result
-                result = kernels.execute(
-                    kernel, extents, [code(env) for code in input_codes]
-                )
+                inputs = [code(env) for code in input_codes]
+                timed = config.cost is not None or config.adaptive
+                started = time.perf_counter() if timed else 0.0
+                result = kernels.execute(kernel, extents, inputs)
                 if result is not None:
+                    if timed:
+                        # calibrate the cost model's kernel rate (see
+                        # Evaluator._tabulate_vectorized)
+                        config.observe("kernel", total,
+                                       time.perf_counter() - started)
                     if probe is not None:
                         probe.on_cells_vectorized(result.size)
                     return result
@@ -369,7 +376,8 @@ class Compiler:
                 )
                 if result is not None:
                     return result
-            timed = config.adaptive and total >= config.min_cells
+            timed = (config.adaptive or config.cost is not None) \
+                and total >= config.min_cells
             started = time.perf_counter() if timed else 0.0
             if rank == 1:
                 values = [body(env + [i]) for i in range(extents[0])]

@@ -297,9 +297,11 @@ class Evaluator:
             sharded = parallel.sum_interp(self, expr, env, source)
             if sharded is not None:
                 return sharded[0]
-        # adaptive dispatch learns the serial rate from real loops; the
-        # measurement is only armed on loops big enough to time reliably
-        timed = config.adaptive and len(source) >= config.min_cells
+        # adaptive dispatch and the cost model learn the serial rate
+        # from real loops; the measurement is only armed on loops big
+        # enough to time reliably
+        timed = (config.adaptive or config.cost is not None) \
+            and len(source) >= config.min_cells
         started = time.perf_counter() if timed else 0.0
         total: Any = 0
         for element in source:
@@ -332,7 +334,8 @@ class Evaluator:
                                               total)
             if result is not None:
                 return result
-        timed = config.adaptive and total >= config.min_cells
+        timed = (config.adaptive or config.cost is not None) \
+            and total >= config.min_cells
         started = time.perf_counter() if timed else 0.0
         values = []
         for index in iter_indices(bounds):
@@ -375,9 +378,18 @@ class Evaluator:
                                                      bounds, total)
             if result is not None:
                 return result
+        timed = config.cost is not None or config.adaptive
+        started = time.perf_counter() if timed else 0.0
         result = kernels.execute(kernel, bounds, inputs)
-        if result is not None and self.probe is not None:
-            self.probe.on_cells_vectorized(result.size)
+        if result is not None:
+            if timed:
+                # the kernel's cells-per-second calibrates the cost
+                # model's kernel coefficient (a distinct rate bucket:
+                # it is orders of magnitude above the scalar loop)
+                config.observe("kernel", total,
+                               time.perf_counter() - started)
+            if self.probe is not None:
+                self.probe.on_cells_vectorized(result.size)
         return result
 
     def _subscript(self, expr: ast.Subscript, env):
@@ -642,12 +654,20 @@ def index_set_dispatch(pairs, rank: int, config):
     items, maxima = collect_index_pairs(pairs, rank)
     if not items:
         return Array((0,) * rank, []), 0, 0, False
-    if (setops.available(config) and isinstance(pairs, frozenset)
-            and len(items) >= config.min_cells):
+    if setops.available(config) and isinstance(pairs, frozenset):
         cells = 1
         for m in maxima:
             cells *= m + 1
-        if cells >= setops.SPARSITY_FACTOR * len(items):
+        # an active cost model weighs n·log n sort comparisons against
+        # the dict pass + per-cell materialization; otherwise the
+        # historical static gate (min_cells floor + sparsity ratio)
+        cost = getattr(config, "cost", None)
+        take_sorted = cost.group_decision(len(items), cells) \
+            if cost is not None else None
+        if take_sorted is None:
+            take_sorted = (len(items) >= config.min_cells
+                           and cells >= setops.SPARSITY_FACTOR * len(items))
+        if take_sorted:
             try:
                 array, groups, max_group = setops.sorted_from_items(
                     items, maxima)

@@ -86,18 +86,29 @@ class DispatchConfig:
     """
 
     __slots__ = ("min_cells", "kernel_min_cells", "workers", "backend",
-                 "setops", "adaptive", "_rates")
+                 "setops", "adaptive", "cost", "_rates")
 
     def __init__(self, min_cells: int = DEFAULT_MIN_CELLS,
                  workers: int = 0, backend: str = "thread",
                  setops: bool = True, adaptive: bool = False,
-                 kernel_min_cells: int = DEFAULT_KERNEL_MIN_CELLS):
+                 kernel_min_cells: int = DEFAULT_KERNEL_MIN_CELLS,
+                 cost: Any = None):
         self.min_cells = min_cells
         self.kernel_min_cells = kernel_min_cells
         self.workers = workers
         self.backend = backend
         self.setops = setops
         self.adaptive = adaptive
+        #: the session's :class:`~repro.optimizer.cost.CostModel`, or
+        #: ``None`` (bare configs, worker configs, ``REPRO_NO_COST=1``).
+        #: Attached by :class:`~repro.env.environment.TopEnv` — never by
+        #: :meth:`from_env`, so direct ``DispatchConfig()``/
+        #: ``DEFAULT_CONFIG`` construction stays exactly the static
+        #: pre-cost-model dispatcher.  When present, :meth:`observe`
+        #: forwards rates into it and an *active* model's projections
+        #: take precedence in :meth:`wants_shards`/
+        #: :meth:`wants_kernel_shards`.
+        self.cost = cost
         #: measured throughput per execution mode, cells/second —
         #: keys are ``"serial"`` and the backend names; written by
         #: :meth:`observe` (the engines record every large serial loop
@@ -121,6 +132,8 @@ class DispatchConfig:
         rate = cells / seconds
         old = self._rates.get(mode)
         self._rates[mode] = rate if old is None else 0.5 * old + 0.5 * rate
+        if self.cost is not None:
+            self.cost.observe_rate(mode, cells, seconds)
 
     def rates(self) -> dict:
         """A snapshot of the measured cells-per-second by mode."""
@@ -156,7 +169,16 @@ class DispatchConfig:
         been measured and does not beat serial by
         :data:`ADAPTIVE_MARGIN`; an unmeasured backend gets one
         dispatch so its rate becomes known.
+
+        An *active* cost model projects the decision from its own
+        calibrated rates first; it answers ``None`` (defer) when it
+        has nothing measured to project from.
         """
+        if self.cost is not None:
+            decision = self.cost.shards_decision(cells,
+                                                 self.shard_backend())
+            if decision is not None:
+                return decision
         if not self.adaptive:
             return cells >= self.min_cells
         serial_rate = self._rates.get("serial")
@@ -177,8 +199,14 @@ class DispatchConfig:
         shard-kernel dispatch competes with it, not with the scalar
         loop — hence its own (much higher) floor.  A static gate on
         purpose: the adaptive rates measure scalar-loop throughput and
-        would wildly mispredict kernel throughput.
+        would wildly mispredict kernel throughput.  An *active* cost
+        model, which tracks the kernel rate separately, may project the
+        decision instead.
         """
+        if self.cost is not None:
+            decision = self.cost.kernel_shards_decision(cells)
+            if decision is not None:
+                return decision
         return cells >= self.kernel_min_cells
 
     @classmethod

@@ -633,7 +633,7 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
         result = _tabulate_process(
             expr, _env_bindings_for(expr, env), extents, shards, probe,
             config)
-        if result is not None and config.adaptive:
+        if result is not None and (config.adaptive or config.cost is not None):
             config.observe("process", total, time.perf_counter() - started)
         return result
 
@@ -649,7 +649,7 @@ def tabulate_interp(evaluator, expr: ast.Tabulate, env,
     _merge_probes(probe, worker_probes, len(shards), total)
     if probe is not None:
         probe.on_cells(total)
-    if config.adaptive:
+    if config.adaptive or config.cost is not None:
         config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
 
@@ -693,7 +693,7 @@ def sum_interp(evaluator, expr: ast.Sum, env,
     if backend == "process":
         result = _sum_process(expr, _env_bindings_for(expr, env), elements,
                               shards, probe, config)
-        if result is not None and config.adaptive:
+        if result is not None and (config.adaptive or config.cost is not None):
             config.observe("process", len(elements),
                            time.perf_counter() - started)
         return result
@@ -711,7 +711,7 @@ def sum_interp(evaluator, expr: ast.Sum, env,
     for part in parts:
         for value in part:  # canonical order: float-exact vs serial
             total = total + value
-    if config.adaptive:
+    if config.adaptive or config.cost is not None:
         config.observe("thread", len(elements),
                        time.perf_counter() - started)
     return (total,)
@@ -747,7 +747,7 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
         bindings = _scope_bindings(expr, scope, env)
         result = _tabulate_process(expr, bindings, extents, shards, None,
                                    config)
-        if result is not None and config.adaptive:
+        if result is not None and (config.adaptive or config.cost is not None):
             config.observe("process", total, time.perf_counter() - started)
         return result
     worker_probes = _fork_probes(probe, len(shards))
@@ -801,7 +801,7 @@ def tabulate_compiled(compiler, expr: ast.Tabulate, scope: Tuple[str, ...],
     _merge_probes(probe, worker_probes, len(shards), total)
     if probe is not None:
         probe.on_cells(total)
-    if config.adaptive:
+    if config.adaptive or config.cost is not None:
         config.observe("thread", total, time.perf_counter() - started)
     return Array(extents, values)
 
@@ -848,7 +848,7 @@ def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
         bindings = _scope_bindings(expr, scope, env)
         result = _sum_process(expr, bindings, elements, shards, None,
                               config)
-        if result is not None and config.adaptive:
+        if result is not None and (config.adaptive or config.cost is not None):
             config.observe("process", len(elements),
                            time.perf_counter() - started)
         return result
@@ -892,7 +892,7 @@ def sum_compiled(compiler, expr: ast.Sum, scope: Tuple[str, ...],
     for part in parts:
         for value in part:
             total = total + value
-    if config.adaptive:
+    if config.adaptive or config.cost is not None:
         config.observe("thread", len(elements),
                        time.perf_counter() - started)
     return (total,)

@@ -158,7 +158,27 @@ def recognize_join(expr: ast.Ext) -> Optional[JoinShape]:
 # -- hash-join execution -----------------------------------------------------
 
 
-def _fork_probe(probe: Any) -> Tuple[bool, Any]:
+def _join_worthwhile(config: Any, source, inner_source, total: int,
+                     shape: JoinShape) -> bool:
+    """Should the hash path serve this join, or the naive loop?
+
+    An *active* :class:`~repro.optimizer.cost.CostModel` compares the
+    estimated naive cost (which re-evaluates the inner *source
+    expression* per outer element — the term the static rule cannot
+    see) against the hash build+probe cost.  Otherwise the historical
+    static gate applies: the |S|·|T| floor, and at least two inner
+    elements so the index has something to share.
+    """
+    cost = getattr(config, "cost", None)
+    if cost is not None:
+        decision = cost.join_decision(len(source), len(inner_source),
+                                      shape.inner_source)
+        if decision is not None:
+            return decision
+    return total >= config.min_cells and len(inner_source) >= 2
+
+
+def _fork_probe(probe):
     """``(ok, forked)`` — ``ok`` False declines the whole dispatch."""
     if probe is None:
         return True, None
@@ -191,7 +211,8 @@ def join_interp(evaluator, expr: ast.Ext, shape: JoinShape, env,
         if not isinstance(inner_source, frozenset):
             return None
         total = len(source) * len(inner_source)
-        if total < evaluator.parallel.min_cells or len(inner_source) < 2:
+        if not _join_worthwhile(evaluator.parallel, source,
+                                inner_source, total, shape):
             return None  # below the floor: recognition cost wins
         matched = 0
         out: set = set()
@@ -288,7 +309,8 @@ def join_compiled(compiler, expr: ast.Ext, shape: JoinShape,
         if not isinstance(inner_source, frozenset):
             return None
         total = len(source) * len(inner_source)
-        if total < compiler.parallel.min_cells or len(inner_source) < 2:
+        if not _join_worthwhile(compiler.parallel, source,
+                                inner_source, total, shape):
             return None
         matched = 0
         out: set = set()

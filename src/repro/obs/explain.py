@@ -42,6 +42,10 @@ class ExplainReport:
     #: dense-store counter *deltas* over the profiled block
     #: (``repro.objects.dense.COUNTERS`` before/after difference)
     dense: Optional[Dict[str, int]] = None
+    #: cost-model snapshot (``CostModel.snapshot()``): mode,
+    #: calibrated coefficients, decision counters, and the last
+    #: estimate-vs-observed comparison; None when ``REPRO_NO_COST=1``
+    cost: Optional[Dict[str, Any]] = None
     value: Any = None
     has_value: bool = False
 
@@ -73,6 +77,8 @@ class ExplainReport:
             payload["plan_cache"] = dict(self.cache)
         if self.dense is not None:
             payload["dense_store"] = dict(self.dense)
+        if self.cost is not None:
+            payload["cost_model"] = dict(self.cost)
         return payload
 
     def render(self) -> str:
@@ -96,6 +102,8 @@ class ExplainReport:
             sections += ["", "== plan cache ==", _render_cache(self.cache)]
         if self.dense is not None:
             sections += ["", "== dense store ==", _render_dense(self.dense)]
+        if self.cost is not None:
+            sections += ["", "== cost model ==", _render_cost(self.cost)]
         return "\n".join(sections)
 
 
@@ -123,7 +131,29 @@ def _render_cache(cache: Dict[str, Any]) -> str:
             f"hits {cache.get('hits', 0)}  "
             f"misses {cache.get('misses', 0)}  "
             f"evictions {cache.get('evictions', 0)}  "
-            f"invalidations {cache.get('invalidations', 0)}")
+            f"invalidations {cache.get('invalidations', 0)}  "
+            f"replans {cache.get('replans', 0)}")
+
+
+def _render_cost(cost: Dict[str, Any]) -> str:
+    """The cost-model mode, counters, and last estimate-vs-actual line."""
+    counters = {key: value for key, value in sorted(cost.items())
+                if key.startswith("cost_")}
+    lines = [f"mode                  {cost.get('mode', '?')}",
+             "  ".join(f"{key[len('cost_'):]} {value}"
+                       for key, value in counters.items())]
+    last = cost.get("last_estimate")
+    if last:
+        predicted = last.get("predicted_seconds") or 0.0
+        observed = last.get("observed_seconds") or 0.0
+        error = last.get("error_factor")
+        line = (f"last query            {last.get('units', 0):.0f} units  "
+                f"predicted {predicted * 1e3:.3f} ms  "
+                f"observed {observed * 1e3:.3f} ms")
+        if error is not None:
+            line += f"  error x{error:.2f}"
+        lines.append(line)
+    return "\n".join(lines)
 
 
 def _render_dense(counters: Dict[str, int]) -> str:

@@ -136,6 +136,28 @@ def split_equi_join(cond: ast.Expr, outer_var: str,
     return None
 
 
+def node_classes(expr: ast.Expr) -> set:
+    """The set of AST classes occurring anywhere in ``expr``.
+
+    Iterative (no recursion limit) and id-deduplicated, so shared-DAG
+    subexpressions are visited once.  Used by the optimizer engine's
+    absence proof: a phase whose every rule is ``roots``-annotated with
+    classes absent from this set provably cannot fire and is skipped.
+    """
+    seen: set = set()
+    classes: set = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        classes.add(type(node))
+        stack.extend(node.children())
+    return classes
+
+
 def strip_bounds_checks(expr: ast.Expr) -> ast.Expr:
     """Erase residual bounds guards: ``if c then e else ⊥ ⇝ e``.
 
@@ -157,4 +179,4 @@ def strip_bounds_checks(expr: ast.Expr) -> ast.Expr:
 
 __all__ = ["is_error_free", "is_duplication_safe",
            "effective_occurrences", "split_equi_join",
-           "strip_bounds_checks"]
+           "node_classes", "strip_bounds_checks"]

@@ -136,6 +136,12 @@ class PhaseStats:
     #: would have been without pruning.
     pruned: int = 0
     time_by_rule: Dict[str, float] = field(default_factory=dict)
+    #: non-empty when the cost model skipped the whole phase without
+    #: running a single pass: ``"absent-roots"`` (no node of any rule's
+    #: root class occurs in the expression, so the phase is provably
+    #: identity) or ``"below-floor"`` (the query's estimated cost is
+    #: under the model's floor — see ``docs/COST_MODEL.md``)
+    skipped: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe snapshot (timings rounded to nanoseconds)."""
@@ -146,6 +152,7 @@ class PhaseStats:
             "seconds": round(self.seconds, 9),
             "attempts": self.attempts,
             "pruned": self.pruned,
+            "skipped": self.skipped,
             "time_by_rule": {
                 name: round(spent, 9)
                 for name, spent in self.time_by_rule.items()
@@ -172,6 +179,22 @@ class Phase:
         self.strategy = strategy
         self.stats = PhaseStats()
         self._apply = self._apply_first
+
+    def root_classes(self) -> Optional[frozenset]:
+        """The union of every rule's ``roots`` annotation, or ``None``
+        when any rule is unannotated (could match anywhere).
+
+        When this returns a set and no node of any member class occurs
+        in an expression, the phase is provably identity on it — no
+        rule can fire at any position — which is what the engine's
+        absence-proof skipping relies on.
+        """
+        roots: set = set()
+        for rule in self.rules:
+            if rule.roots is None:
+                return None
+            roots.update(rule.roots)
+        return frozenset(roots)
 
     def run(self, expr: ast.Expr, instrument: bool = False) -> ast.Expr:
         """Apply this phase's rules to ``expr`` under its strategy.
@@ -265,6 +288,13 @@ class Optimizer:
 
     def __init__(self, phases: Optional[List[Phase]] = None):
         self.phases: List[Phase] = list(phases or [])
+        #: the session's :class:`~repro.optimizer.cost.CostModel`, or
+        #: ``None`` (bare optimizers, ``REPRO_NO_COST=1``).  Attached by
+        #: :class:`~repro.env.environment.TopEnv`; with a model enabled,
+        #: :meth:`optimize` skips phases it can prove are identity
+        #: (absence of every rule-root class) and — in active mode —
+        #: phases the query's estimated cost does not justify.
+        self.cost: Any = None
 
     def phase(self, name: str) -> Phase:
         """Look up a phase by name (for rule registration/ablation)."""
@@ -297,12 +327,46 @@ class Optimizer:
         on the per-rule timing instrumentation of :meth:`Phase.run`.
         """
         instrument = tracer.enabled
+        cost = self.cost
+        classes = None
+        if cost is not None and cost.enabled:
+            from repro.optimizer.analysis import node_classes
+
+            classes = node_classes(expr)
+        units: Optional[float] = None
         for phase in self.phases:
             with tracer.span(f"phase:{phase.name}"):
+                skip = ""
+                if classes is not None:
+                    roots = phase.root_classes()
+                    if roots is not None and not (roots & classes):
+                        skip = "absent-roots"
+                    if (not skip and cost.active and not cost.force_full
+                            and cost.floor_units > 0
+                            and phase.name in cost.floor_phases):
+                        if units is None:
+                            units = cost.estimate(expr)
+                        if units is not None and units < cost.floor_units:
+                            skip = "below-floor"
+                if skip:
+                    # the span is still emitted (profiles always show
+                    # all phases) with zeroed stats carrying the reason
+                    phase.stats = PhaseStats(skipped=skip)
+                    cost.on_phase_skip(phase.name, skip)
+                    if instrument:
+                        tracer.annotate(passes=0, firings=0, skipped=skip)
+                    continue
                 expr = phase.run(expr, instrument=instrument)
                 if instrument:
                     tracer.annotate(passes=phase.stats.passes,
                                     firings=phase.stats.applications)
+                if classes is not None and phase.stats.applications:
+                    # rewrites may introduce or remove node classes; the
+                    # absence proof for later phases must see the result
+                    from repro.optimizer.analysis import node_classes
+
+                    classes = node_classes(expr)
+                    units = None
         return expr
 
     def report(self) -> Dict[str, PhaseStats]:

@@ -128,6 +128,20 @@ class PlanEntry:
     generation: int                   # TopEnv.generation at compile time
     val_generations: Dict[str, int]   # per-free-name val generations
     evaluator: Any = None             # CompiledEvaluator ('compiled' only)
+    #: the *pre-resolve* desugared core, kept so adaptive
+    #: re-optimization can recompile the query through the full
+    #: pipeline when observed cost diverges from the estimate
+    source_core: Any = None
+    #: the cost model's unit estimate for :attr:`core` (None: model off)
+    estimated_units: Optional[float] = None
+    #: observed run statistics, folded in by the session after every
+    #: execution of this plan (an equal-weight EMA over seconds)
+    runs: int = 0
+    observed_seconds: float = 0.0
+    #: set once this entry has been re-planned — divergence re-plans at
+    #: most once per entry, so a query the estimator simply cannot see
+    #: through (e.g. data-dependent extents) does not thrash
+    replanned: bool = False
 
 
 @dataclass
@@ -140,16 +154,25 @@ class Plan:
     #: a reusable :class:`~repro.core.compile.CompiledEvaluator` holding
     #: the generated closure, or None for the interpreter backend
     evaluator: Any = None
+    #: the backing :class:`PlanEntry` (None when caching is disabled);
+    #: the session folds observed run stats into it and re-plans it on
+    #: estimate divergence
+    entry: Any = None
+    #: the cost model's unit estimate for :attr:`core` (None: model off)
+    estimated_units: Optional[float] = None
 
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/eviction/invalidation counters, cumulative per cache."""
+    """Hit/miss/eviction/invalidation/replan counters, per cache."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: entries recompiled by adaptive re-optimization (observed cost
+    #: diverged from the estimate — see ``docs/COST_MODEL.md``)
+    replans: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """A JSON-safe snapshot of every counter."""
@@ -158,13 +181,15 @@ class PlanCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "replans": self.replans,
         }
 
     def render(self) -> str:
         """The one-line counter summary used by ``:cache``/``:profile``."""
         return (f"hits {self.hits}  misses {self.misses}  "
                 f"evictions {self.evictions}  "
-                f"invalidations {self.invalidations}")
+                f"invalidations {self.invalidations}  "
+                f"replans {self.replans}")
 
 
 class PlanCache:
@@ -228,7 +253,9 @@ class PlanCache:
 
     def insert(self, key: Hashable, core: ast.Expr, inferred: Any,
                free_names: Iterable[str], env,
-               evaluator: Any = None) -> Optional[PlanEntry]:
+               evaluator: Any = None, source_core: Any = None,
+               estimated_units: Optional[float] = None
+               ) -> Optional[PlanEntry]:
         """Record a freshly compiled plan; evicts LRU entries over capacity."""
         if not self.enabled:
             return None
@@ -242,6 +269,8 @@ class PlanCache:
             val_generations={name: env.val_generation(name)
                              for name in names},
             evaluator=evaluator,
+            source_core=source_core,
+            estimated_units=estimated_units,
         )
         self._entries[key] = entry
         self._entries.move_to_end(key)

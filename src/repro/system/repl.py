@@ -16,7 +16,10 @@ clear`` empties it — see ``docs/PLAN_CACHE.md``), ``:parallel
 and ``:parallel adaptive on|off`` toggles measured-rate dispatch
 selection (see ``docs/PARALLEL.md``), ``:setops [on|off]`` shows or toggles the
 set-engine fast paths (hash equi-joins and sort-based ``index_k``
-grouping — see ``docs/SETOPS.md``), and ``:profile QUERY;`` runs a statement
+grouping — see ``docs/SETOPS.md``), ``:cost [off|observe|active]``
+shows or switches the calibrated cost model (``:cost floor N`` and
+``:cost replan N`` tune its thresholds — see ``docs/COST_MODEL.md``),
+and ``:profile QUERY;`` runs a statement
 with observability on and prints the EXPLAIN report (optimized core,
 per-stage spans, rule firings, evaluator counters — see
 ``docs/OBSERVABILITY.md``).
@@ -128,6 +131,48 @@ def setops_command(session: Session, args: str) -> str:
             f"min_cells={config.min_cells}")
 
 
+def cost_command(session: Session, args: str) -> str:
+    """Implement ``:cost`` — show or tune the calibrated cost model.
+
+    ``:cost`` prints the model state (mode, coefficients, counters,
+    last estimate-vs-actual); ``:cost off|observe|active`` switches
+    the mode; ``:cost floor N`` sets the unit floor below which an
+    active model skips the motion phase; ``:cost replan N`` sets the
+    divergence factor that triggers adaptive re-planning.  Every
+    argument is validated before anything is mutated.  The
+    ``REPRO_NO_COST=1`` kill switch wins over the session setting.
+    See ``docs/COST_MODEL.md``.
+    """
+    from repro.optimizer.cost import COST_MODES
+
+    cost = session.env.cost
+    if cost is None:
+        return "cost model disabled (REPRO_NO_COST=1)"
+    if args:
+        fields = args.split()
+        if fields[0] in ("floor", "replan"):
+            if len(fields) != 2:
+                return f"usage: :cost {fields[0]} N (got {args!r})"
+            try:
+                value = float(fields[1])
+                if value < 0 or (fields[0] == "replan" and value < 1.0):
+                    raise ValueError
+            except ValueError:
+                kind = ("a non-negative number" if fields[0] == "floor"
+                        else "a number >= 1")
+                return f"{fields[0]} must be {kind}, got {fields[1]!r}"
+            if fields[0] == "floor":
+                cost.floor_units = value
+            else:
+                cost.replan_factor = value
+        elif fields[0] in COST_MODES and len(fields) == 1:
+            cost.mode = fields[0]
+        else:
+            return (f"usage: :cost [{'|'.join(COST_MODES)}"
+                    f"|floor N|replan N] (got {args!r})")
+    return cost.render()
+
+
 def run_file(session: Session, path: str) -> bool:
     """Execute an AQL script file, echoing outputs; False on error."""
     try:
@@ -205,6 +250,10 @@ def main(argv=None) -> int:
             if stripped == ":setops" or stripped.startswith(":setops "):
                 print(setops_command(session,
                                      stripped[len(":setops"):].strip()))
+                continue
+            if stripped == ":cost" or stripped.startswith(":cost "):
+                print(cost_command(session,
+                                   stripped[len(":cost"):].strip()))
                 continue
             print(f"unknown command {stripped!r}")
             continue

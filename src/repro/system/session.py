@@ -22,6 +22,7 @@ paper's sample session::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
@@ -99,7 +100,8 @@ class Session:
                  min_cells: Optional[int] = None,
                  kernel_min_cells: Optional[int] = None,
                  setops: Optional[bool] = None,
-                 adaptive: Optional[bool] = None):
+                 adaptive: Optional[bool] = None,
+                 cost: Any = None):
         self.env = env if env is not None else TopEnv.standard(backend)
         self.optimize = optimize
         # fast-path tuning mutates the TopEnv's shared DispatchConfig in
@@ -150,6 +152,25 @@ class Session:
                     f"adaptive must be a bool, got {adaptive!r}"
                 )
             self.env.parallel.adaptive = adaptive
+        if cost is not None:
+            # validated before mutation, like every knob above; a bool
+            # maps to the extreme modes ("active"/"off"), a string must
+            # name a mode.  The REPRO_NO_COST kill switch wins: with no
+            # model constructed there is nothing to set, silently —
+            # mirroring how :setops defers to REPRO_NO_SETOPS.
+            from repro.optimizer.cost import COST_MODES
+
+            if isinstance(cost, bool):
+                mode = "active" if cost else "off"
+            elif isinstance(cost, str) and cost in COST_MODES:
+                mode = cost
+            else:
+                raise SessionError(
+                    f"cost must be a bool or one of "
+                    f"{', '.join(COST_MODES)}, got {cost!r}"
+                )
+            if self.env.cost is not None:
+                self.env.cost.mode = mode
         self._desugarer = Desugarer()
         #: the optimized core of the most recent compilation (EXPLAIN)
         self._last_core: Optional[ast.Expr] = None
@@ -258,7 +279,8 @@ class Session:
         env, cache = self.env, self.plan_cache
         if not cache.enabled:
             compiled, inferred = env.compile(core, optimize=self.optimize)
-            return Plan(compiled, inferred)
+            return Plan(compiled, inferred,
+                        estimated_units=self._estimate_units(compiled))
         tracer = env.obs.tracer
         with tracer.span("plan_cache"):
             key = cache.key_for(core, self.optimize, env.backend)
@@ -266,15 +288,25 @@ class Session:
             tracer.annotate(hit=entry is not None, entries=len(cache))
         if entry is not None:
             return Plan(entry.core, entry.inferred, cached=True,
-                        evaluator=entry.evaluator)
+                        evaluator=entry.evaluator, entry=entry,
+                        estimated_units=entry.estimated_units)
         compiled, inferred = env.compile(core, optimize=self.optimize)
         evaluator = env.plan_evaluator()
         if evaluator is not None:
             with tracer.span("codegen"):
                 evaluator.prepare(compiled)
-        cache.insert(key, compiled, inferred, ast.free_vars(core), env,
-                     evaluator)
-        return Plan(compiled, inferred)
+        units = self._estimate_units(compiled)
+        entry = cache.insert(key, compiled, inferred, ast.free_vars(core),
+                             env, evaluator, source_core=core,
+                             estimated_units=units)
+        return Plan(compiled, inferred, entry=entry, estimated_units=units)
+
+    def _estimate_units(self, core: ast.Expr) -> Optional[float]:
+        """The cost model's unit estimate for ``core`` (None: model off)."""
+        cost = self.env.cost
+        if cost is None or not cost.enabled:
+            return None
+        return cost.estimate(core)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -296,12 +328,74 @@ class Session:
         The cached closure is used only on the unobserved fast path; an
         instrumented run regenerates probed code through the
         environment's evaluator so counters stay accurate.
+
+        When the cost model is enabled and the plan carries a unit
+        estimate, the run is timed and the observation fed back: the
+        model calibrates its scalar coefficient, and estimate-vs-actual
+        divergence may trigger an adaptive re-plan of the backing cache
+        entry (see :meth:`_observe_run`).
         """
         env = self.env
+        cost = env.cost
         with env.obs.tracer.span("evaluate"):
-            if plan.evaluator is not None and not env.obs.enabled:
-                return plan.evaluator.run(plan.core)
-            return env.evaluator().run(plan.core)
+            use_cached = plan.evaluator is not None and not env.obs.enabled
+            if cost is None or not cost.enabled \
+                    or plan.estimated_units is None:
+                if use_cached:
+                    return plan.evaluator.run(plan.core)
+                return env.evaluator().run(plan.core)
+            started = time.perf_counter()
+            if use_cached:
+                value = plan.evaluator.run(plan.core)
+            else:
+                value = env.evaluator().run(plan.core)
+            elapsed = time.perf_counter() - started
+            self._observe_run(plan, cost, elapsed)
+            return value
+
+    def _observe_run(self, plan: Plan, cost: Any, seconds: float) -> None:
+        """Fold one observed execution into the cost model and the plan's
+        cache entry; re-plan the entry when the model reports divergence.
+        """
+        replan = cost.record_run(plan.estimated_units, seconds)
+        entry = plan.entry
+        if entry is not None:
+            entry.runs += 1
+            if entry.runs == 1:
+                entry.observed_seconds = seconds
+            else:
+                entry.observed_seconds = \
+                    0.5 * entry.observed_seconds + 0.5 * seconds
+            if replan and not entry.replanned \
+                    and entry.source_core is not None:
+                self._replan(entry)
+
+    def _replan(self, entry: Any) -> None:
+        """Recompile a divergent entry through the *full* pipeline.
+
+        The first plan may have been compiled with cost-floor phase
+        skipping; when the observed run proves the query expensive, the
+        skipped phases (e.g. loop motion) are exactly the ones that
+        matter, so the re-plan forces every phase back on.  Re-planning
+        happens at most once per entry (:attr:`PlanEntry.replanned`), so
+        a query the estimator cannot see through does not thrash.
+        """
+        env, cost = self.env, self.env.cost
+        entry.replanned = True
+        with env.obs.tracer.span("replan"), cost.full_pipeline():
+            compiled, inferred = env.compile(entry.source_core,
+                                             optimize=self.optimize)
+            evaluator = env.plan_evaluator()
+            if evaluator is not None:
+                evaluator.prepare(compiled)
+        entry.core = compiled
+        entry.inferred = inferred
+        entry.evaluator = evaluator
+        entry.estimated_units = cost.estimate(compiled)
+        entry.runs = 0
+        entry.observed_seconds = 0.0
+        cost.counters["cost_replans"] += 1
+        self.plan_cache.stats.replans += 1
 
     def _query(self, surface: S.SExpr, name: str) -> Output:
         plan = self._compile(surface)
@@ -367,6 +461,8 @@ class Session:
                 metrics=obs.metrics,
                 cache=self.plan_cache.snapshot(),
                 dense=dense_delta,
+                cost=(self.env.cost.snapshot()
+                      if self.env.cost is not None else None),
                 value=last.value,
                 has_value=last.has_value,
             )

@@ -172,7 +172,8 @@ class TestSessionCaching:
         session.query_value("1 + 1;")
         session.query_value("1 + 1;")
         assert session.plan_cache.stats.to_dict() == {
-            "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+            "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
+            "replans": 0}
 
     def test_lru_bound_respected_end_to_end(self):
         session = Session(plan_cache_capacity=2)
